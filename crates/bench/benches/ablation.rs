@@ -1,0 +1,176 @@
+//! Ablations of the design choices called out in DESIGN.md:
+//!
+//! 1. grouping grid base (2 = Algorithm 2, 1+√2 = randomized grid, 4 =
+//!    coarser) — effect on objective;
+//! 2. backfill scope: none / same-pair (paper) / work-conserving rematch
+//!    (extension);
+//! 3. simplex pricing: Dantzig vs Bland;
+//! 4. LP presolve on/off (constructed-model row pruning is always on).
+//!
+//! Objective-value ablations are printed; timing ablations are measured.
+
+use coflow::grouping::group_by_grid;
+use coflow::intervals::GeometricGrid;
+use coflow::ordering::{compute_order, OrderRule};
+use coflow::relax::{build_interval_model, solve_interval_lp_with};
+use coflow::sched::{run_with_order, run_with_order_ext};
+use coflow_bench::bench_scale_config;
+use coflow_lp::{solve_with, SimplexOptions};
+use coflow_workloads::{assign_weights, generate_trace, WeightScheme};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn instance() -> coflow::Instance {
+    assign_weights(
+        &generate_trace(&bench_scale_config(2015)),
+        WeightScheme::RandomPermutation { seed: 2015 },
+    )
+}
+
+fn ablate_grouping_base(c: &mut Criterion) {
+    let inst = instance();
+    let order = compute_order(&inst, OrderRule::LpBased);
+    let v = inst.cumulative_loads(&order);
+    let horizon = v.iter().copied().max().unwrap_or(1);
+
+    println!("== ablation: grouping grid base (objective, backfill on) ==");
+    for (label, base) in [
+        ("1.5", 1.5),
+        ("2.0 (paper)", 2.0),
+        ("1+sqrt2", 1.0 + std::f64::consts::SQRT_2),
+        ("4.0", 4.0),
+    ] {
+        let grid = GeometricGrid::scaled(horizon, 1.0, base);
+        let groups = group_by_grid(&inst, &order, &grid).groups.len();
+        let out = coflow::sched::run_with_order_grid(&inst, order.clone(), &grid, true);
+        println!(
+            "  base {:<12} -> {:>2} groups, objective {:.0}",
+            label, groups, out.objective
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_grouping");
+    group.sample_size(10);
+    group.bench_function("grouped_backfilled", |b| {
+        b.iter(|| run_with_order(&inst, order.clone(), true, true).objective)
+    });
+    group.finish();
+}
+
+fn ablate_backfill_scope(c: &mut Criterion) {
+    let inst = instance();
+    let order = compute_order(&inst, OrderRule::LpBased);
+    println!("== ablation: backfill scope (objective) ==");
+    let none = run_with_order(&inst, order.clone(), true, false);
+    let same_pair = run_with_order(&inst, order.clone(), true, true);
+    let rematch = run_with_order_ext(&inst, order.clone(), true, true, true);
+    println!("  none (case c):        {:.0}", none.objective);
+    println!("  same-pair (paper d):  {:.0}", same_pair.objective);
+    println!("  rematch (extension):  {:.0}", rematch.objective);
+    assert!(same_pair.objective <= none.objective + 1e-9);
+    assert!(rematch.objective <= same_pair.objective + 1e-9);
+
+    let mut group = c.benchmark_group("ablation_backfill");
+    group.sample_size(10);
+    group.bench_function("same_pair", |b| {
+        b.iter(|| run_with_order(&inst, order.clone(), true, true).objective)
+    });
+    group.bench_function("rematch", |b| {
+        b.iter(|| run_with_order_ext(&inst, order.clone(), true, true, true).objective)
+    });
+    group.finish();
+}
+
+fn ablate_simplex_options(c: &mut Criterion) {
+    let inst = instance();
+    let mut group = c.benchmark_group("ablation_simplex");
+    group.sample_size(10);
+    group.bench_function("dantzig_presolve", |b| {
+        b.iter(|| solve_interval_lp_with(&inst, &SimplexOptions::default()).lower_bound)
+    });
+    group.bench_function("bland", |b| {
+        b.iter(|| {
+            solve_interval_lp_with(
+                &inst,
+                &SimplexOptions {
+                    always_bland: true,
+                    ..Default::default()
+                },
+            )
+            .lower_bound
+        })
+    });
+    group.bench_function("no_presolve", |b| {
+        b.iter(|| {
+            let (model, _, _) = build_interval_model(&inst);
+            solve_with(
+                &model,
+                &SimplexOptions {
+                    presolve: false,
+                    ..Default::default()
+                },
+            )
+            .objective
+        })
+    });
+    group.finish();
+
+    // Sanity: all configurations agree on the optimum.
+    let a = solve_interval_lp_with(&inst, &SimplexOptions::default()).lower_bound;
+    let b = solve_interval_lp_with(
+        &inst,
+        &SimplexOptions {
+            always_bland: true,
+            ..Default::default()
+        },
+    )
+    .lower_bound;
+    assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+}
+
+fn ablate_bvn_variant(c: &mut Criterion) {
+    use coflow_matching::{bvn_decompose, bvn_decompose_maxmin, IntMatrix};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let m = 48;
+    let mut d = IntMatrix::zeros(m);
+    for i in 0..m {
+        for j in 0..m {
+            if rng.gen_bool(0.4) {
+                d[(i, j)] = rng.gen_range(1..64);
+            }
+        }
+    }
+    let plain = bvn_decompose(&d);
+    let maxmin = bvn_decompose_maxmin(&d);
+    println!("== ablation: BvN matching-selection rule (48x48, 40% dense) ==");
+    println!(
+        "  arbitrary perfect matching: {} matchings for {} slots",
+        plain.slots.len(),
+        plain.total_slots()
+    );
+    println!(
+        "  max-min bottleneck:         {} matchings for {} slots",
+        maxmin.slots.len(),
+        maxmin.total_slots()
+    );
+    assert_eq!(plain.total_slots(), maxmin.total_slots());
+
+    let mut group = c.benchmark_group("ablation_bvn");
+    group.sample_size(10);
+    group.bench_function("arbitrary", |b| b.iter(|| bvn_decompose(&d).slots.len()));
+    group.bench_function("maxmin", |b| {
+        b.iter(|| bvn_decompose_maxmin(&d).slots.len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_grouping_base,
+    ablate_backfill_scope,
+    ablate_simplex_options,
+    ablate_bvn_variant
+);
+criterion_main!(benches);

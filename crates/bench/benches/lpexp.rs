@@ -1,0 +1,41 @@
+//! Bench for the §4.2 lower-bound experiment: solving (LP-EXP) and
+//! computing the near-optimality ratio on a reduced-scale instance.
+
+use coflow_bench::lowerbound::run_lowerbound;
+use coflow_bench::report::render_lowerbound;
+use coflow_workloads::{assign_weights, generate_trace, TraceConfig, WeightScheme};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn small_instance() -> coflow::Instance {
+    let cfg = TraceConfig {
+        ports: 10,
+        num_coflows: 12,
+        seed: 2015,
+        flow_size_mu: 0.9,
+        flow_size_sigma: 0.7,
+        max_flow_size: 8,
+        ..TraceConfig::default()
+    };
+    assign_weights(
+        &generate_trace(&cfg),
+        WeightScheme::RandomPermutation { seed: 2015 },
+    )
+}
+
+fn bench_lpexp(c: &mut Criterion) {
+    let inst = small_instance();
+    let mut group = c.benchmark_group("lpexp");
+    group.sample_size(10);
+    group.bench_function("lower_bound_experiment", |b| {
+        b.iter(|| run_lowerbound(&inst))
+    });
+    group.finish();
+
+    let report = run_lowerbound(&inst);
+    println!("{}", render_lowerbound(&report));
+    assert!(report.lp_exp_bound <= report.hlp_cost + 1e-6);
+    assert!(report.interval_bound <= report.lp_exp_bound + 1e-6);
+}
+
+criterion_group!(benches, bench_lpexp);
+criterion_main!(benches);

@@ -1,0 +1,192 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! experiments [table1|fig2a|fig2b|lpexp|ratios|all] [--seed N]
+//! ```
+//!
+//! Table 1 and the figures run on the synthetic Facebook-like trace at the
+//! documented reduced scale; `lpexp` runs on a further reduced instance
+//! because (LP-EXP) is exponential in the horizon; `ratios` measures true
+//! approximation ratios on tiny instances via the exact solver.
+
+use coflow_bench::figures::{run_fig2a, run_fig2b};
+use coflow_bench::lowerbound::run_lowerbound;
+use coflow_bench::paper_scale_config;
+use coflow_bench::ratios::run_ratios;
+use coflow_bench::report::{
+    render_fig2a, render_fig2b, render_lowerbound, render_ratios, render_table1_block,
+};
+use coflow_workloads::{assign_weights, generate_trace, TraceConfig, WeightScheme};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut seed: u64 = 2015;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed must be an integer");
+            }
+            other => which = other.to_string(),
+        }
+    }
+
+    match which.as_str() {
+        "table1" => table1(seed),
+        "fig2a" => fig2a(seed),
+        "fig2b" => fig2b(seed),
+        "lpexp" => lpexp(seed),
+        "ratios" => ratios(seed),
+        "gridsweep" => gridsweep(seed),
+        "integrality" => integrality(seed),
+        "arrivals" => arrivals(seed),
+        "all" => {
+            table1(seed);
+            fig2a(seed);
+            fig2b(seed);
+            lpexp(seed);
+            ratios(seed);
+            gridsweep(seed);
+            integrality(seed);
+            arrivals(seed);
+        }
+        other => {
+            eprintln!(
+                "unknown experiment '{}'; expected table1|fig2a|fig2b|lpexp|ratios|gridsweep|integrality|arrivals|all",
+                other
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn trace_banner(cfg: &TraceConfig) {
+    println!(
+        "# synthetic trace: {} ports, {} coflows, seed {}",
+        cfg.ports, cfg.num_coflows, cfg.seed
+    );
+}
+
+/// The experiment filters are scaled with the fabric: the paper filters a
+/// 150-port trace at `M0 ≥ 30/40/50`; at 60 ports the same fraction of the
+/// fabric corresponds to roughly 12/16/20.
+fn scaled_filters(ports: usize) -> [usize; 3] {
+    let scale = ports as f64 / 150.0;
+    [
+        (50.0 * scale).round() as usize,
+        (40.0 * scale).round() as usize,
+        (30.0 * scale).round() as usize,
+    ]
+}
+
+fn table1(seed: u64) {
+    let cfg = paper_scale_config(seed);
+    trace_banner(&cfg);
+    let trace = generate_trace(&cfg);
+    println!("== Table 1: normalized total weighted completion times ==");
+    let filters = scaled_filters(cfg.ports);
+    println!(
+        "(width filters scaled to the {}-port fabric: {:?})",
+        cfg.ports, filters
+    );
+    for &filter in &filters {
+        for scheme in [
+            WeightScheme::Equal,
+            WeightScheme::RandomPermutation { seed },
+        ] {
+            let block = coflow_bench::table1::run_block(&trace, filter, scheme);
+            println!("{}", render_table1_block(&block));
+        }
+    }
+}
+
+fn fig2a(seed: u64) {
+    let cfg = paper_scale_config(seed);
+    trace_banner(&cfg);
+    let trace = generate_trace(&cfg);
+    let filter = scaled_filters(cfg.ports)[0];
+    println!("{}", render_fig2a(&run_fig2a(&trace, filter, seed)));
+}
+
+fn fig2b(seed: u64) {
+    let cfg = paper_scale_config(seed);
+    trace_banner(&cfg);
+    let trace = generate_trace(&cfg);
+    let filter = scaled_filters(cfg.ports)[0];
+    println!("{}", render_fig2b(&run_fig2b(&trace, filter, seed)));
+}
+
+fn lpexp(seed: u64) {
+    // LP-EXP is exponential in the horizon: run at reduced scale.
+    let cfg = TraceConfig {
+        ports: 10,
+        num_coflows: 12,
+        seed,
+        flow_size_mu: 0.9,
+        flow_size_sigma: 0.7,
+        max_flow_size: 8,
+        ..TraceConfig::default()
+    };
+    trace_banner(&cfg);
+    let inst = assign_weights(
+        &generate_trace(&cfg),
+        WeightScheme::RandomPermutation { seed },
+    );
+    println!("{}", render_lowerbound(&run_lowerbound(&inst)));
+}
+
+fn ratios(seed: u64) {
+    println!("{}", render_ratios(&run_ratios(24, seed)));
+}
+
+fn gridsweep(seed: u64) {
+    // Small instance: the sweep also solves (LP-EXP) as the limit.
+    let cfg = TraceConfig {
+        ports: 10,
+        num_coflows: 12,
+        seed,
+        flow_size_mu: 0.9,
+        flow_size_sigma: 0.7,
+        max_flow_size: 8,
+        ..TraceConfig::default()
+    };
+    trace_banner(&cfg);
+    let inst = assign_weights(
+        &generate_trace(&cfg),
+        WeightScheme::RandomPermutation { seed },
+    );
+    let sweep = coflow_bench::gridsweep::run_gridsweep(&inst, &[4.0, 2.0, 1.5, 1.25, 1.1]);
+    println!("{}", coflow_bench::gridsweep::render_gridsweep(&sweep));
+}
+
+fn integrality(seed: u64) {
+    let cfg = TraceConfig {
+        ports: 24,
+        num_coflows: 40,
+        seed,
+        max_flow_size: 128,
+        ..TraceConfig::default()
+    };
+    trace_banner(&cfg);
+    let inst = assign_weights(
+        &generate_trace(&cfg),
+        WeightScheme::RandomPermutation { seed },
+    );
+    let report = coflow_bench::integrality::run_integrality(&inst);
+    println!("{}", coflow_bench::integrality::render_integrality(&report));
+}
+
+fn arrivals(seed: u64) {
+    let inst = coflow_bench::arrivals::arrivals_instance(24, 36, seed);
+    println!(
+        "# arrivals trace: 24 ports, 36 coflows, Poisson arrivals, seed {}",
+        seed
+    );
+    let report = coflow_bench::arrivals::run_arrivals(&inst);
+    println!("{}", coflow_bench::arrivals::render_arrivals(&report));
+}

@@ -1,0 +1,149 @@
+//! The coflow abstraction.
+//!
+//! A coflow (Chowdhury & Stoica) is a collection of parallel flows with a
+//! shared performance goal, represented here — as in the paper — by an
+//! `m × m` integer demand matrix `D = (d_ij)`, a release date `r_k`, and a
+//! positive weight `w_k`.
+
+use coflow_matching::IntMatrix;
+use serde::{Deserialize, Serialize};
+
+/// A single coflow: demand matrix, release date, weight, and a stable id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Coflow {
+    /// Stable identifier (the paper's `H_A` order is by trace id).
+    pub id: usize,
+    /// Demand matrix: `demand[(i, j)]` data units from ingress `i` to
+    /// egress `j`.
+    pub demand: IntMatrix,
+    /// Release date `r_k`; the coflow may first be served in slot `r_k + 1`.
+    pub release: u64,
+    /// Positive weight `w_k` in the objective `Σ w_k C_k`.
+    pub weight: f64,
+}
+
+impl Coflow {
+    /// Creates a coflow with release 0 and unit weight.
+    pub fn new(id: usize, demand: IntMatrix) -> Self {
+        Coflow {
+            id,
+            demand,
+            release: 0,
+            weight: 1.0,
+        }
+    }
+
+    /// Sets the release date (builder style).
+    pub fn with_release(mut self, release: u64) -> Self {
+        self.release = release;
+        self
+    }
+
+    /// Sets the weight (builder style). Panics unless positive and finite.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "coflow weights must be positive and finite"
+        );
+        self.weight = weight;
+        self
+    }
+
+    /// The load `ρ(D)` of Eq. (18): max over row and column sums. The
+    /// minimum number of slots needed to clear this coflow alone.
+    pub fn load(&self) -> u64 {
+        self.demand.load()
+    }
+
+    /// Total data units.
+    pub fn total_units(&self) -> u64 {
+        self.demand.total()
+    }
+
+    /// Number of nonzero flows (the paper's `M0` width statistic).
+    pub fn width(&self) -> usize {
+        self.demand.nonzero_count()
+    }
+
+    /// Earliest possible completion time `r_k + ρ(D^{(k)})`.
+    pub fn earliest_completion(&self) -> u64 {
+        self.release + self.load()
+    }
+}
+
+/// Serialization-friendly mirror of [`Coflow`] with a sparse demand listing.
+/// Used by the workloads crate for trace I/O.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct CoflowRecord {
+    /// Stable identifier.
+    pub id: usize,
+    /// Fabric size.
+    pub m: usize,
+    /// Sparse demands `(src, dst, units)`.
+    pub flows: Vec<(usize, usize, u64)>,
+    /// Release date.
+    pub release: u64,
+    /// Weight.
+    pub weight: f64,
+}
+
+impl From<&Coflow> for CoflowRecord {
+    fn from(c: &Coflow) -> Self {
+        CoflowRecord {
+            id: c.id,
+            m: c.demand.dim(),
+            flows: c.demand.nonzero_entries().collect(),
+            release: c.release,
+            weight: c.weight,
+        }
+    }
+}
+
+impl From<&CoflowRecord> for Coflow {
+    fn from(r: &CoflowRecord) -> Self {
+        let mut demand = IntMatrix::zeros(r.m);
+        for &(i, j, u) in &r.flows {
+            demand[(i, j)] += u;
+        }
+        Coflow {
+            id: r.id,
+            demand,
+            release: r.release,
+            weight: r.weight,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_derived_quantities() {
+        let c = Coflow::new(3, IntMatrix::from_nested(&[[1, 2], [2, 1]]))
+            .with_release(5)
+            .with_weight(2.5);
+        assert_eq!(c.load(), 3);
+        assert_eq!(c.total_units(), 6);
+        assert_eq!(c.width(), 4);
+        assert_eq!(c.earliest_completion(), 8);
+        assert_eq!(c.weight, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        let _ = Coflow::new(0, IntMatrix::zeros(2)).with_weight(0.0);
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let c = Coflow::new(7, IntMatrix::from_nested(&[[0, 4], [1, 0]]))
+            .with_release(2)
+            .with_weight(3.0);
+        let rec = CoflowRecord::from(&c);
+        assert_eq!(rec.flows.len(), 2);
+        let back = Coflow::from(&rec);
+        assert_eq!(back, c);
+    }
+}

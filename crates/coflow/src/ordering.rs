@@ -1,0 +1,264 @@
+//! Coflow ordering rules (the *ordering stage* of §4).
+//!
+//! Both approximation algorithms first produce a global coflow order; the
+//! experiments compare three of them — `H_A` (arrival / trace id), `H_ρ`
+//! (load-to-weight ratio, the rule used by Varys-style heuristics), and
+//! `H_LP` (the LP-based order (15)) — plus a total-size variant as an
+//! ablation.
+
+use crate::instance::Instance;
+use crate::relax::solve_interval_lp;
+
+/// An ordering heuristic for the ordering stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OrderRule {
+    /// `H_A`: the naive order by coflow id (arrival order in the trace).
+    Arrival,
+    /// `H_ρ`: nondecreasing `ρ(D^{(k)}) / w_k` (Eq. (18) over weight).
+    LoadOverWeight,
+    /// `H_LP`: nondecreasing fractional completion time `C̄_k` from the
+    /// interval-indexed relaxation (ordering (15)).
+    LpBased,
+    /// Ablation: nondecreasing total size `Σ_ij d_ij / w_k` (ignores the
+    /// bottleneck structure that `ρ` captures).
+    SizeOverWeight,
+    /// Extension: Sincronia-style BSSI — the primal–dual rule applied to
+    /// the `2m` per-port loads (each ingress and egress treated as a
+    /// machine). Builds the permutation from the back: repeatedly take the
+    /// most-loaded port, place last the coflow minimizing residual weight
+    /// per unit of load on that port, and discount the survivors' weights.
+    /// Agarwal et al. later proved this rule 4-approximate when combined
+    /// with any work-conserving schedule; here it slots into the same
+    /// scheduling stage as the paper's orders.
+    PortPrimalDual,
+}
+
+impl OrderRule {
+    /// All rules evaluated in the experiment grid.
+    pub const PAPER_RULES: [OrderRule; 3] = [
+        OrderRule::Arrival,
+        OrderRule::LoadOverWeight,
+        OrderRule::LpBased,
+    ];
+
+    /// Short display name matching the paper's notation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OrderRule::Arrival => "H_A",
+            OrderRule::LoadOverWeight => "H_rho",
+            OrderRule::LpBased => "H_LP",
+            OrderRule::SizeOverWeight => "H_size",
+            OrderRule::PortPrimalDual => "H_pd",
+        }
+    }
+}
+
+/// Computes the coflow order under `rule`. Ties break by coflow index, so
+/// every rule yields a deterministic permutation of `0..n`.
+pub fn compute_order(instance: &Instance, rule: OrderRule) -> Vec<usize> {
+    let n = instance.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    match rule {
+        OrderRule::Arrival => {
+            order.sort_by_key(|&k| (instance.coflow(k).id, k));
+        }
+        OrderRule::LoadOverWeight => {
+            let key: Vec<f64> = (0..n)
+                .map(|k| {
+                    let c = instance.coflow(k);
+                    c.load() as f64 / c.weight
+                })
+                .collect();
+            order.sort_by(|&a, &b| key[a].partial_cmp(&key[b]).unwrap().then(a.cmp(&b)));
+        }
+        OrderRule::SizeOverWeight => {
+            let key: Vec<f64> = (0..n)
+                .map(|k| {
+                    let c = instance.coflow(k);
+                    c.total_units() as f64 / c.weight
+                })
+                .collect();
+            order.sort_by(|&a, &b| key[a].partial_cmp(&key[b]).unwrap().then(a.cmp(&b)));
+        }
+        OrderRule::LpBased => {
+            return solve_interval_lp(instance).order;
+        }
+        OrderRule::PortPrimalDual => {
+            return port_primal_dual_order(instance);
+        }
+    }
+    order
+}
+
+/// The BSSI primal–dual permutation over port loads (see
+/// [`OrderRule::PortPrimalDual`]).
+fn port_primal_dual_order(instance: &Instance) -> Vec<usize> {
+    let n = instance.len();
+    let m = instance.ports();
+    // "Machine" loads: ingress 0..m, egress m..2m, per coflow.
+    let port_loads: Vec<Vec<u64>> = (0..n)
+        .map(|k| {
+            let d = &instance.coflow(k).demand;
+            (0..m)
+                .map(|i| d.row_sum(i))
+                .chain(d.col_sums())
+                .collect()
+        })
+        .collect();
+    let mut total_load = vec![0u64; 2 * m];
+    for loads in &port_loads {
+        for (t, &l) in total_load.iter_mut().zip(loads) {
+            *t += l;
+        }
+    }
+    let mut residual: Vec<f64> = instance.coflows().iter().map(|c| c.weight).collect();
+    let mut remaining = vec![true; n];
+    let mut order_rev = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (port, &load) = total_load
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &l)| l)
+            .expect("at least one port");
+        let k_star = if load == 0 {
+            (0..n).find(|&k| remaining[k]).expect("a coflow remains")
+        } else {
+            let mut best: Option<(usize, f64)> = None;
+            for k in 0..n {
+                if !remaining[k] || port_loads[k][port] == 0 {
+                    continue;
+                }
+                let ratio = residual[k] / port_loads[k][port] as f64;
+                if best.is_none_or(|(_, r)| ratio < r) {
+                    best = Some((k, ratio));
+                }
+            }
+            let (k_star, theta) = best.expect("max-load port has a contributing coflow");
+            for k in 0..n {
+                if remaining[k] && k != k_star {
+                    residual[k] -= theta * port_loads[k][port] as f64;
+                }
+            }
+            k_star
+        };
+        remaining[k_star] = false;
+        for (t, &l) in total_load.iter_mut().zip(&port_loads[k_star]) {
+            *t -= l;
+        }
+        order_rev.push(k_star);
+    }
+    order_rev.reverse();
+    order_rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coflow::Coflow;
+    use coflow_matching::IntMatrix;
+
+    fn mk(id: usize, diag: &[u64], w: f64) -> Coflow {
+        Coflow::new(id, IntMatrix::diagonal(diag)).with_weight(w)
+    }
+
+    #[test]
+    fn arrival_order_is_by_id() {
+        let inst = Instance::new(
+            2,
+            vec![mk(2, &[1, 1], 1.0), mk(0, &[5, 5], 1.0), mk(1, &[3, 3], 1.0)],
+        );
+        assert_eq!(compute_order(&inst, OrderRule::Arrival), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn load_over_weight_prefers_short_or_heavy() {
+        // loads 5, 1, 4; weights 1, 1, 8 -> ratios 5, 1, 0.5.
+        let inst = Instance::new(
+            2,
+            vec![mk(0, &[5, 5], 1.0), mk(1, &[1, 1], 1.0), mk(2, &[4, 4], 8.0)],
+        );
+        assert_eq!(
+            compute_order(&inst, OrderRule::LoadOverWeight),
+            vec![2, 1, 0]
+        );
+    }
+
+    #[test]
+    fn size_and_load_rules_differ_on_skew() {
+        // c0: one fat flow (rho 6, size 6); c1: spread (rho 3, size 6).
+        let c0 = Coflow::new(0, IntMatrix::from_nested(&[[6, 0], [0, 0]]));
+        let c1 = Coflow::new(1, IntMatrix::from_nested(&[[3, 0], [0, 3]]));
+        let inst = Instance::new(2, vec![c0, c1]);
+        assert_eq!(
+            compute_order(&inst, OrderRule::LoadOverWeight),
+            vec![1, 0]
+        );
+        // Equal sizes: ties break by index.
+        assert_eq!(
+            compute_order(&inst, OrderRule::SizeOverWeight),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn lp_rule_orders_by_fractional_completion() {
+        let inst = Instance::new(
+            2,
+            vec![mk(0, &[30, 30], 1.0), mk(1, &[1, 1], 1.0)],
+        );
+        let order = compute_order(&inst, OrderRule::LpBased);
+        assert_eq!(order[0], 1, "tiny coflow should precede the huge one");
+    }
+
+    #[test]
+    fn names_match_paper_notation() {
+        assert_eq!(OrderRule::Arrival.name(), "H_A");
+        assert_eq!(OrderRule::LoadOverWeight.name(), "H_rho");
+        assert_eq!(OrderRule::LpBased.name(), "H_LP");
+        assert_eq!(OrderRule::PortPrimalDual.name(), "H_pd");
+    }
+
+    #[test]
+    fn port_primal_dual_is_a_permutation() {
+        let inst = Instance::new(
+            2,
+            vec![mk(0, &[5, 5], 1.0), mk(1, &[1, 1], 1.0), mk(2, &[4, 4], 8.0)],
+        );
+        let mut order = compute_order(&inst, OrderRule::PortPrimalDual);
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn port_primal_dual_matches_wspt_on_single_port() {
+        // On a 1x1 fabric the rule reduces to WSPT, like the others.
+        let mk1 = |id, p: u64, w: f64| {
+            Coflow::new(id, IntMatrix::diagonal(&[p])).with_weight(w)
+        };
+        let inst = Instance::new(1, vec![mk1(0, 2, 1.0), mk1(1, 1, 3.0), mk1(2, 3, 2.0)]);
+        assert_eq!(
+            compute_order(&inst, OrderRule::PortPrimalDual),
+            vec![1, 2, 0]
+        );
+    }
+
+    #[test]
+    fn port_primal_dual_prioritizes_heavy_coflows() {
+        let big = Coflow::new(0, IntMatrix::from_nested(&[[30, 0], [0, 30]]));
+        let urgent =
+            Coflow::new(1, IntMatrix::from_nested(&[[1, 0], [0, 0]])).with_weight(100.0);
+        let inst = Instance::new(2, vec![big, urgent]);
+        let order = compute_order(&inst, OrderRule::PortPrimalDual);
+        assert_eq!(order[0], 1);
+    }
+
+    #[test]
+    fn port_primal_dual_handles_zero_demand_coflows() {
+        let empty = Coflow::new(0, IntMatrix::zeros(2));
+        let real = Coflow::new(1, IntMatrix::diagonal(&[2, 0]));
+        let inst = Instance::new(2, vec![empty, real]);
+        let mut order = compute_order(&inst, OrderRule::PortPrimalDual);
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1]);
+    }
+}

@@ -1,0 +1,573 @@
+//! Schedulers: the paper's deterministic Algorithm 2, its randomized
+//! variant, and the §4 experiment grid (ordering × grouping × backfilling).
+//!
+//! All schedulers share one execution engine, `execute_batches`: the coflow
+//! order is partitioned into *batches* (singleton batches when grouping is
+//! off, interval groups when it is on); each batch waits for its members'
+//! release dates, aggregates their remaining demand, clears it with a
+//! Birkhoff–von Neumann schedule (Algorithm 1), and — when backfilling is
+//! enabled — donates unforced idle slots to later coflows on the same port
+//! pair.
+
+pub mod greedy;
+pub mod online;
+pub mod optimal;
+
+use crate::grouping::{group_by_doubling, group_by_grid};
+use crate::instance::Instance;
+use crate::intervals::GeometricGrid;
+use crate::ordering::{compute_order, OrderRule};
+use coflow_matching::{bvn_decompose, IntMatrix};
+use coflow_netsim::{Fabric, ScheduleTrace};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// One cell of the §4 experiment grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AlgorithmSpec {
+    /// Ordering-stage rule.
+    pub order: OrderRule,
+    /// Scheduling-stage grouping (case (c)/(d) when true).
+    pub grouping: bool,
+    /// Scheduling-stage backfilling (case (b)/(d) when true).
+    pub backfill: bool,
+}
+
+impl AlgorithmSpec {
+    /// The paper's Algorithm 2: LP ordering + grouping, no backfilling
+    /// (case (c) with `H_LP`).
+    pub fn algorithm2() -> Self {
+        AlgorithmSpec {
+            order: OrderRule::LpBased,
+            grouping: true,
+            backfill: false,
+        }
+    }
+
+    /// Case label as used in §4.1: (a) base, (b) backfill, (c) group,
+    /// (d) group + backfill.
+    pub fn case_label(&self) -> &'static str {
+        match (self.grouping, self.backfill) {
+            (false, false) => "a",
+            (false, true) => "b",
+            (true, false) => "c",
+            (true, true) => "d",
+        }
+    }
+}
+
+/// Result of running a scheduler on an instance.
+#[derive(Clone, Debug)]
+pub struct ScheduleOutcome {
+    /// The coflow order used by the ordering stage.
+    pub order: Vec<usize>,
+    /// Completion slot per coflow (instance indexing).
+    pub completions: Vec<u64>,
+    /// `Σ_k w_k C_k`.
+    pub objective: f64,
+    /// The executed schedule, replayable/validatable by `coflow-netsim`.
+    pub trace: ScheduleTrace,
+}
+
+impl ScheduleOutcome {
+    /// Schedule makespan (last busy slot).
+    pub fn makespan(&self) -> u64 {
+        self.trace.makespan()
+    }
+}
+
+/// Runs one experiment-grid cell on `instance`.
+pub fn run(instance: &Instance, spec: &AlgorithmSpec) -> ScheduleOutcome {
+    let order = compute_order(instance, spec.order);
+    run_with_order(instance, order, spec.grouping, spec.backfill)
+}
+
+/// Scheduling-stage execution options beyond the paper's grid.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Same-pair backfilling (§4.1 of the paper).
+    pub backfill: bool,
+    /// Work-conserving rematch of demand-less pairs (extension).
+    pub rematch: bool,
+    /// Use the max-min Birkhoff–von Neumann variant
+    /// ([`coflow_matching::bvn_decompose_maxmin`]): same ρ slots, far fewer
+    /// distinct matchings (fabric reconfigurations).
+    pub maxmin_decomposition: bool,
+}
+
+/// Runs the scheduling stage with an externally supplied order.
+pub fn run_with_order(
+    instance: &Instance,
+    order: Vec<usize>,
+    grouping: bool,
+    backfill: bool,
+) -> ScheduleOutcome {
+    run_with_order_ext(instance, order, grouping, backfill, false)
+}
+
+/// Runs the scheduling stage with full execution options.
+pub fn run_with_order_opts(
+    instance: &Instance,
+    order: Vec<usize>,
+    grouping: bool,
+    opts: ExecOptions,
+) -> ScheduleOutcome {
+    let batches: Vec<Vec<usize>> = if grouping {
+        group_by_doubling(instance, &order).groups
+    } else {
+        order.iter().map(|&k| vec![k]).collect()
+    };
+    execute_batches(instance, order, &batches, opts)
+}
+
+/// [`run_with_order`] plus the *work-conserving rematch* extension: when a
+/// pair of the Birkhoff–von Neumann matching has no demand left to serve
+/// (its padding came from the augmentation), its two ports are re-matched
+/// to pending demand instead of idling. This goes beyond the paper's
+/// same-pair backfilling (§4.1) — it is the natural next implementation
+/// step a production scheduler would take — and is evaluated as an ablation
+/// in the benchmark suite. All completion-time guarantees are preserved:
+/// re-matching only adds service.
+pub fn run_with_order_ext(
+    instance: &Instance,
+    order: Vec<usize>,
+    grouping: bool,
+    backfill: bool,
+    rematch: bool,
+) -> ScheduleOutcome {
+    run_with_order_opts(
+        instance,
+        order,
+        grouping,
+        ExecOptions {
+            backfill,
+            rematch,
+            maxmin_decomposition: false,
+        },
+    )
+}
+
+/// Runs the grouped scheduler with an arbitrary geometric grid (ablation:
+/// grouping base 2 vs 1+√2 vs coarser). The deterministic Algorithm 2 is
+/// `GeometricGrid::doubling`; the randomized algorithm samples the grid.
+pub fn run_with_order_grid(
+    instance: &Instance,
+    order: Vec<usize>,
+    grid: &GeometricGrid,
+    backfill: bool,
+) -> ScheduleOutcome {
+    let batches = group_by_grid(instance, &order, grid).groups;
+    execute_batches(
+        instance,
+        order,
+        &batches,
+        ExecOptions {
+            backfill,
+            ..ExecOptions::default()
+        },
+    )
+}
+
+/// The randomized algorithm of §3.2: groups by the random grid
+/// `τ'_l = T₀ aˡ⁻¹`, `a = 1 + √2`, `T₀ ~ Uniform[1, a]`, then schedules
+/// exactly like Algorithm 2.
+pub fn run_randomized<R: Rng + ?Sized>(
+    instance: &Instance,
+    order_rule: OrderRule,
+    backfill: bool,
+    rng: &mut R,
+) -> ScheduleOutcome {
+    let a = 1.0 + std::f64::consts::SQRT_2;
+    let t0: f64 = rng.gen_range(1.0..a);
+    let order = compute_order(instance, order_rule);
+    let v = instance.cumulative_loads(&order);
+    let horizon = v.iter().copied().max().unwrap_or(1);
+    let grid = GeometricGrid::scaled(horizon, t0, a);
+    let batches = group_by_grid(instance, &order, &grid).groups;
+    execute_batches(
+        instance,
+        order,
+        &batches,
+        ExecOptions {
+            backfill,
+            ..ExecOptions::default()
+        },
+    )
+}
+
+/// Shared execution engine. `batches` must partition `order` into
+/// consecutive runs (every scheduler above guarantees this).
+pub(crate) fn execute_batches(
+    instance: &Instance,
+    order: Vec<usize>,
+    batches: &[Vec<usize>],
+    opts: ExecOptions,
+) -> ScheduleOutcome {
+    let ExecOptions {
+        backfill,
+        rematch,
+        maxmin_decomposition,
+    } = opts;
+    let n = instance.len();
+    let demands = instance.demand_matrices();
+    let releases = instance.releases();
+    let mut fabric = Fabric::new(instance.ports(), &demands, &releases);
+
+    // Position of each coflow in the global order.
+    let mut pos = vec![usize::MAX; n];
+    for (p, &k) in order.iter().enumerate() {
+        pos[k] = p;
+    }
+    debug_assert!(pos.iter().all(|&p| p != usize::MAX), "order must be a permutation");
+
+    // Per-pair coflow queues in global order: candidates for service on a
+    // pair, scanned front to back (finished coflows are skipped in O(1)).
+    let mut pair_queue: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+    for &k in &order {
+        for (i, j, _) in instance.coflow(k).demand.nonzero_entries() {
+            pair_queue.entry((i, j)).or_default().push(k);
+        }
+    }
+
+    for batch in batches {
+        if batch.is_empty() {
+            continue;
+        }
+        // Algorithm 2: schedule the group only after all members' releases.
+        // Members with no remaining demand (zero-demand coflows, or demand
+        // already cleared by backfilling) cannot gate the group: they are
+        // complete regardless, and waiting for them could only delay others.
+        let batch_release = batch
+            .iter()
+            .filter(|&&k| fabric.remaining_total(k) > 0)
+            .map(|&k| instance.coflow(k).release)
+            .max();
+        let Some(batch_release) = batch_release else {
+            continue; // everything in this batch is already done
+        };
+        if batch_release > fabric.now() {
+            fabric.advance_to(batch_release);
+        }
+        let batch_end_pos = batch.iter().map(|&k| pos[k]).max().unwrap();
+
+        // Aggregate the *remaining* demand of the batch (earlier backfilling
+        // may have partially cleared it).
+        let mut agg = IntMatrix::zeros(instance.ports());
+        for &k in batch {
+            for (i, j, _) in instance.coflow(k).demand.nonzero_entries() {
+                agg[(i, j)] += fabric.remaining(k, i, j);
+            }
+        }
+        if agg.is_zero() {
+            continue;
+        }
+
+        let dec = if maxmin_decomposition {
+            coflow_matching::bvn_decompose_maxmin(&agg)
+        } else {
+            bvn_decompose(&agg)
+        };
+
+        // Order the decomposition's matchings so the group's coflows
+        // complete in priority order. Algorithm 1 admits any slot order (the
+        // group still clears in exactly ρ slots, so Lemma 4 and Proposition 1
+        // are untouched), but applying, for each group coflow in order, the
+        // slots that still serve it lets that coflow finish as early as the
+        // decomposition allows instead of at the group's end. Leftover slots
+        // (serving only backfill demand) run last.
+        let mut slot_sequence: Vec<usize> = Vec::with_capacity(dec.slots.len());
+        {
+            let mut pending: Vec<usize> = (0..dec.slots.len()).collect();
+            let mut rem: Vec<IntMatrix> = batch
+                .iter()
+                .map(|&k| {
+                    let mut r = IntMatrix::zeros(instance.ports());
+                    for (i, j, _) in instance.coflow(k).demand.nonzero_entries() {
+                        r[(i, j)] = fabric.remaining(k, i, j);
+                    }
+                    r
+                })
+                .collect();
+            for (b_idx, _k) in batch.iter().enumerate() {
+                while !rem[b_idx].is_zero() {
+                    // First pending slot that serves this coflow: within a
+                    // group, pairs serve members in order, so any slot
+                    // covering a pair with remaining demand serves it.
+                    let found = pending.iter().position(|&s| {
+                        dec.slots[s]
+                            .perm
+                            .pairs()
+                            .any(|(i, j)| rem[b_idx][(i, j)] > 0)
+                    });
+                    let Some(p_idx) = found else {
+                        unreachable!("BvN coverage must clear every group coflow")
+                    };
+                    let s = pending.remove(p_idx);
+                    let q = dec.slots[s].count;
+                    // Account the service this slot gives each group member
+                    // (pairs serve members in order).
+                    for (i, j) in dec.slots[s].perm.pairs() {
+                        let mut budget = q;
+                        for r in rem.iter_mut() {
+                            if budget == 0 {
+                                break;
+                            }
+                            let take = r[(i, j)].min(budget);
+                            r[(i, j)] -= take;
+                            budget -= take;
+                        }
+                    }
+                    slot_sequence.push(s);
+                }
+            }
+            slot_sequence.extend(pending);
+        }
+
+        // With rematching, long runs are split into short chunks so freshly
+        // drained pairs are re-matched promptly; chunking only re-plans the
+        // same matching, so the paper-mode schedule is untouched.
+        const REMATCH_CHUNK: u64 = 4;
+        let chunked: Vec<(usize, u64)> = slot_sequence
+            .into_iter()
+            .flat_map(|slot_idx| {
+                let q = dec.slots[slot_idx].count;
+                if rematch && q > REMATCH_CHUNK {
+                    let chunks = q.div_ceil(REMATCH_CHUNK);
+                    (0..chunks)
+                        .map(|c| {
+                            let len = REMATCH_CHUNK.min(q - c * REMATCH_CHUNK);
+                            (slot_idx, len)
+                        })
+                        .collect::<Vec<_>>()
+                } else {
+                    vec![(slot_idx, q)]
+                }
+            })
+            .collect();
+
+        for (slot_idx, chunk_len) in chunked {
+            let slot = &dec.slots[slot_idx];
+            let now = fabric.now();
+            let eligible = |k: usize| {
+                instance.coflow(k).release <= now && (pos[k] <= batch_end_pos || backfill)
+            };
+            let mut pairs: Vec<(usize, usize, Vec<usize>)> =
+                Vec::with_capacity(instance.ports());
+            let mut src_used = vec![false; instance.ports()];
+            let mut dst_used = vec![false; instance.ports()];
+            for (i, j) in slot.perm.pairs() {
+                let Some(queue) = pair_queue.get(&(i, j)) else {
+                    continue;
+                };
+                let candidates: Vec<usize> = queue
+                    .iter()
+                    .copied()
+                    .filter(|&k| eligible(k) && fabric.remaining(k, i, j) > 0)
+                    .collect();
+                if !candidates.is_empty() {
+                    src_used[i] = true;
+                    dst_used[j] = true;
+                    pairs.push((i, j, candidates));
+                }
+            }
+            if rematch {
+                // Work-conserving extension: ports whose matched pair has
+                // nothing to send are re-matched to pending demand, scanning
+                // coflows in priority order.
+                for &k in &order {
+                    if !eligible(k) || fabric.remaining_total(k) == 0 {
+                        continue;
+                    }
+                    for (i, j, _) in instance.coflow(k).demand.nonzero_entries() {
+                        if !src_used[i] && !dst_used[j] && fabric.remaining(k, i, j) > 0 {
+                            src_used[i] = true;
+                            dst_used[j] = true;
+                            let candidates: Vec<usize> = pair_queue[&(i, j)]
+                                .iter()
+                                .copied()
+                                .filter(|&c| eligible(c) && fabric.remaining(c, i, j) > 0)
+                                .collect();
+                            pairs.push((i, j, candidates));
+                        }
+                    }
+                }
+            }
+            if pairs.is_empty() {
+                fabric.advance_to(now + chunk_len);
+            } else {
+                fabric.apply_run(&pairs, chunk_len);
+            }
+        }
+    }
+
+    assert!(
+        fabric.all_done(),
+        "batch execution must deliver all demand (scheduler bug)"
+    );
+    let (trace, completions) = fabric.finish();
+    let objective = instance.objective(&completions);
+    ScheduleOutcome {
+        order,
+        completions,
+        objective,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coflow::Coflow;
+    use coflow_netsim::validate_trace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn validate(instance: &Instance, out: &ScheduleOutcome) {
+        let times = validate_trace(
+            &instance.demand_matrices(),
+            &instance.releases(),
+            &out.trace,
+        )
+        .expect("trace must satisfy problem (O) constraints");
+        assert_eq!(times, out.completions, "completion accounting mismatch");
+        assert!((instance.objective(&times) - out.objective).abs() < 1e-9);
+    }
+
+    fn fig1_instance() -> Instance {
+        Instance::new(
+            2,
+            vec![Coflow::new(0, IntMatrix::from_nested(&[[1, 2], [2, 1]]))],
+        )
+    }
+
+    #[test]
+    fn lone_coflow_completes_at_its_load() {
+        // Lemma 4: a lone coflow finishes in exactly rho slots under every
+        // grid cell.
+        let inst = fig1_instance();
+        for grouping in [false, true] {
+            for backfill in [false, true] {
+                let out = run_with_order(&inst, vec![0], grouping, backfill);
+                assert_eq!(out.completions, vec![3]);
+                validate(&inst, &out);
+            }
+        }
+    }
+
+    #[test]
+    fn grouping_consolidates_two_small_coflows() {
+        // Two unit coflows on disjoint pairs, same interval: the group is
+        // cleared as one aggregated coflow in 1 slot.
+        let c0 = Coflow::new(0, IntMatrix::from_nested(&[[1, 0], [0, 0]]));
+        let c1 = Coflow::new(1, IntMatrix::from_nested(&[[0, 0], [0, 1]]));
+        let inst = Instance::new(2, vec![c0, c1]);
+        let grouped = run_with_order(&inst, vec![0, 1], true, false);
+        assert_eq!(grouped.completions, vec![1, 1]);
+        validate(&inst, &grouped);
+        // Ungrouped, no backfill: strictly sequential -> 1 and 2.
+        let seq = run_with_order(&inst, vec![0, 1], false, false);
+        assert_eq!(seq.completions, vec![1, 2]);
+        validate(&inst, &seq);
+    }
+
+    #[test]
+    fn backfill_uses_augmentation_idle_time() {
+        // c0 = [[2,0],[0,0]] augments to [[2,0],[0,2]]: pair (1,1) idles for
+        // 2 slots. c1 demands (1,1), so backfilling serves it during c0's
+        // schedule.
+        let c0 = Coflow::new(0, IntMatrix::from_nested(&[[2, 0], [0, 0]]));
+        let c1 = Coflow::new(1, IntMatrix::from_nested(&[[0, 0], [0, 2]]));
+        let inst = Instance::new(2, vec![c0, c1]);
+        let no_bf = run_with_order(&inst, vec![0, 1], false, false);
+        assert_eq!(no_bf.completions, vec![2, 4]);
+        validate(&inst, &no_bf);
+        let bf = run_with_order(&inst, vec![0, 1], false, true);
+        assert_eq!(bf.completions, vec![2, 2]);
+        validate(&inst, &bf);
+    }
+
+    #[test]
+    fn release_dates_delay_batches() {
+        let c0 = Coflow::new(0, IntMatrix::from_nested(&[[1, 0], [0, 0]]));
+        let c1 = Coflow::new(1, IntMatrix::from_nested(&[[1, 0], [0, 0]])).with_release(10);
+        let inst = Instance::new(2, vec![c0, c1]);
+        let out = run_with_order(&inst, vec![0, 1], false, false);
+        assert_eq!(out.completions, vec![1, 11]);
+        validate(&inst, &out);
+    }
+
+    #[test]
+    fn full_grid_runs_and_validates_on_mixed_instance() {
+        let c0 = Coflow::new(0, IntMatrix::from_nested(&[[3, 1], [0, 2]])).with_weight(2.0);
+        let c1 = Coflow::new(1, IntMatrix::from_nested(&[[1, 4], [2, 0]]));
+        let c2 = Coflow::new(2, IntMatrix::from_nested(&[[0, 0], [5, 1]])).with_weight(0.5);
+        let inst = Instance::new(2, vec![c0, c1, c2]);
+        for rule in [
+            OrderRule::Arrival,
+            OrderRule::LoadOverWeight,
+            OrderRule::LpBased,
+            OrderRule::SizeOverWeight,
+        ] {
+            for grouping in [false, true] {
+                for backfill in [false, true] {
+                    let out = run(
+                        &inst,
+                        &AlgorithmSpec {
+                            order: rule,
+                            grouping,
+                            backfill,
+                        },
+                    );
+                    validate(&inst, &out);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_algorithm_validates() {
+        let c0 = Coflow::new(0, IntMatrix::from_nested(&[[3, 1], [0, 2]]));
+        let c1 = Coflow::new(1, IntMatrix::from_nested(&[[1, 4], [2, 0]]));
+        let inst = Instance::new(2, vec![c0, c1]);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let out = run_randomized(&inst, OrderRule::LpBased, false, &mut rng);
+            validate(&inst, &out);
+        }
+    }
+
+    #[test]
+    fn proposition1_bound_holds_on_small_instances() {
+        // C_k(A) <= max_{g<=k} r_g + 4 V_k for Algorithm 2 (LP order,
+        // grouping, no backfill).
+        let c0 = Coflow::new(0, IntMatrix::from_nested(&[[2, 1], [1, 2]])).with_release(3);
+        let c1 = Coflow::new(1, IntMatrix::from_nested(&[[4, 0], [0, 4]]));
+        let c2 = Coflow::new(2, IntMatrix::from_nested(&[[0, 6], [6, 0]])).with_release(1);
+        let inst = Instance::new(2, vec![c0, c1, c2]);
+        let out = run(&inst, &AlgorithmSpec::algorithm2());
+        let v = inst.cumulative_loads(&out.order);
+        let mut max_release = 0;
+        for (p, &k) in out.order.iter().enumerate() {
+            max_release = max_release.max(inst.coflow(k).release);
+            assert!(
+                out.completions[k] <= max_release + 4 * v[p],
+                "Proposition 1 violated for coflow {}",
+                k
+            );
+        }
+        validate(&inst, &out);
+    }
+
+    #[test]
+    fn case_labels() {
+        let mk = |g, b| AlgorithmSpec {
+            order: OrderRule::Arrival,
+            grouping: g,
+            backfill: b,
+        };
+        assert_eq!(mk(false, false).case_label(), "a");
+        assert_eq!(mk(false, true).case_label(), "b");
+        assert_eq!(mk(true, false).case_label(), "c");
+        assert_eq!(mk(true, true).case_label(), "d");
+    }
+}

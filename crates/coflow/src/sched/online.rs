@@ -1,0 +1,172 @@
+//! An online scheduler (extension).
+//!
+//! The paper's algorithms are offline: they solve an LP over the complete
+//! instance before the first slot. Its conclusion highlights online
+//! operation as the key open direction. This module implements the natural
+//! online heuristic the paper's framework suggests: maintain a priority
+//! order over *released, unfinished* coflows by the Smith-style ratio
+//! `ρ(remaining demand) / weight` — the online analogue of `H_ρ` — and
+//! re-sort whenever a coflow arrives; every slot, serve a greedy matching
+//! in priority order (work conserving, like the backfilled schedules).
+//!
+//! The scheduler never looks at coflows before their release dates, so its
+//! decisions are legitimately online.
+
+use crate::instance::Instance;
+use crate::sched::ScheduleOutcome;
+use coflow_matching::IntMatrix;
+use coflow_netsim::{Run, ScheduleTrace, Transfer};
+
+/// Runs the online ρ/w-priority scheduler.
+pub fn run_online(instance: &Instance) -> ScheduleOutcome {
+    let n = instance.len();
+    let m = instance.ports();
+    let mut remaining: Vec<IntMatrix> = instance.demand_matrices();
+    let mut remaining_total: Vec<u64> = remaining.iter().map(IntMatrix::total).collect();
+    let releases = instance.releases();
+    let weights = instance.weights();
+    let mut completions: Vec<u64> = releases.clone();
+    let mut unfinished: usize = remaining_total.iter().filter(|&&t| t > 0).count();
+
+    // Arrival events in time order.
+    let mut events: Vec<(u64, usize)> = releases.iter().copied().zip(0..n).collect();
+    events.sort_unstable();
+    let mut next_event = 0usize;
+
+    let mut active: Vec<usize> = Vec::new();
+    let mut trace = ScheduleTrace::new(m);
+    let mut t: u64 = 0;
+    let mut src_used = vec![false; m];
+    let mut dst_used = vec![false; m];
+
+    while unfinished > 0 {
+        // Admit arrivals with release <= t (servable from slot t+1 on) and
+        // re-sort the priority order by remaining-rho / weight.
+        let mut admitted = false;
+        while next_event < events.len() && events[next_event].0 <= t {
+            let k = events[next_event].1;
+            next_event += 1;
+            if remaining_total[k] > 0 {
+                active.push(k);
+                admitted = true;
+            }
+        }
+        if admitted {
+            active.sort_by(|&a, &b| {
+                let ka = remaining[a].load() as f64 / weights[a];
+                let kb = remaining[b].load() as f64 / weights[b];
+                ka.partial_cmp(&kb).unwrap().then(a.cmp(&b))
+            });
+        }
+        if active.is_empty() {
+            // Idle until the next arrival.
+            t = events[next_event].0;
+            continue;
+        }
+
+        let slot = t + 1;
+        src_used.iter_mut().for_each(|b| *b = false);
+        dst_used.iter_mut().for_each(|b| *b = false);
+        let mut transfers: Vec<Transfer> = Vec::new();
+        for &k in &active {
+            for (i, j, _) in remaining[k].nonzero_entries() {
+                if !src_used[i] && !dst_used[j] {
+                    src_used[i] = true;
+                    dst_used[j] = true;
+                    transfers.push(Transfer {
+                        src: i,
+                        dst: j,
+                        coflow: k,
+                        units: 1,
+                    });
+                }
+            }
+        }
+        debug_assert!(!transfers.is_empty(), "active coflows must be servable");
+        for tr in &transfers {
+            remaining[tr.coflow][(tr.src, tr.dst)] -= 1;
+            remaining_total[tr.coflow] -= 1;
+            if remaining_total[tr.coflow] == 0 {
+                completions[tr.coflow] = slot;
+                unfinished -= 1;
+            }
+        }
+        trace.push_run(Run {
+            start: slot,
+            duration: 1,
+            transfers,
+        });
+        active.retain(|&k| remaining_total[k] > 0);
+        t = slot;
+    }
+
+    let objective = instance.objective(&completions);
+    // The "order" of an online run is the completion order.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&k| (completions[k], k));
+    ScheduleOutcome {
+        order,
+        completions,
+        objective,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coflow::Coflow;
+    use coflow_netsim::validate_trace;
+
+    fn validate(inst: &Instance, out: &ScheduleOutcome) {
+        let times =
+            validate_trace(&inst.demand_matrices(), &inst.releases(), &out.trace).unwrap();
+        assert_eq!(times, out.completions);
+    }
+
+    #[test]
+    fn online_clears_a_single_coflow_optimally() {
+        let inst = Instance::new(
+            2,
+            vec![Coflow::new(0, IntMatrix::from_nested(&[[1, 2], [2, 1]]))],
+        );
+        let out = run_online(&inst);
+        assert_eq!(out.completions, vec![3]);
+        validate(&inst, &out);
+    }
+
+    #[test]
+    fn online_prioritizes_heavy_small_coflows() {
+        let big = Coflow::new(0, IntMatrix::from_nested(&[[6, 0], [0, 0]]));
+        let small = Coflow::new(1, IntMatrix::from_nested(&[[2, 0], [0, 0]])).with_weight(10.0);
+        let inst = Instance::new(2, vec![big, small]);
+        let out = run_online(&inst);
+        validate(&inst, &out);
+        assert!(out.completions[1] < out.completions[0]);
+        assert_eq!(out.completions[1], 2);
+    }
+
+    #[test]
+    fn online_reacts_to_late_arrivals() {
+        // A big coflow starts alone; a tiny urgent one arrives at t = 2 and
+        // preempts it on the shared pair.
+        let big = Coflow::new(0, IntMatrix::from_nested(&[[10, 0], [0, 0]]));
+        let urgent = Coflow::new(1, IntMatrix::from_nested(&[[1, 0], [0, 0]]))
+            .with_weight(100.0)
+            .with_release(2);
+        let inst = Instance::new(2, vec![big, urgent]);
+        let out = run_online(&inst);
+        validate(&inst, &out);
+        assert_eq!(out.completions[1], 3, "urgent coflow served right after arrival");
+        assert_eq!(out.completions[0], 11);
+    }
+
+    #[test]
+    fn online_never_schedules_before_release() {
+        let c = Coflow::new(0, IntMatrix::from_nested(&[[1, 0], [0, 0]])).with_release(5);
+        let inst = Instance::new(2, vec![c]);
+        let out = run_online(&inst);
+        validate(&inst, &out);
+        assert_eq!(out.completions, vec![6]);
+    }
+}

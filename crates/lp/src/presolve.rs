@@ -1,0 +1,201 @@
+//! Presolve: prune rows that can never bind.
+//!
+//! The interval-indexed relaxation (LP) of the paper has `2m·L` port/interval
+//! load constraints, but for each port `i` every interval `l` with
+//! `τ_l ≥ (total demand on port i)` is trivially satisfied — with doubling
+//! intervals that removes the large majority of rows. Presolve detects this
+//! generically: a `≤` row whose *maximum possible activity* (using the
+//! declared implied upper bounds and the `x ≥ 0` lower bounds) is at most the
+//! right-hand side is dropped. Symmetrically for `≥` rows with minimum
+//! activity, and `=` rows are never dropped.
+
+use crate::model::{Model, Sense};
+
+/// Outcome of presolve.
+#[derive(Clone, Debug)]
+pub enum PresolveResult {
+    /// The reduced problem: original indices of the rows that were kept.
+    Reduced {
+        /// Original row indices retained, in order.
+        kept_rows: Vec<usize>,
+        /// Number of rows removed.
+        removed: usize,
+    },
+    /// A row was infeasible on its own (e.g. empty row with impossible rhs).
+    Infeasible {
+        /// The offending original row index.
+        row: usize,
+    },
+}
+
+/// Maximum possible activity of a row given `0 ≤ x_j ≤ ub_j` (ub may be ∞).
+fn max_activity(terms: &[(crate::model::VarId, f64)], upper: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &(v, a) in terms {
+        if a > 0.0 {
+            acc += a * upper[v.0]; // may be +inf
+        }
+        // a < 0 contributes a * 0 = 0 at the maximum.
+    }
+    acc
+}
+
+/// Minimum possible activity of a row given `0 ≤ x_j ≤ ub_j`.
+fn min_activity(terms: &[(crate::model::VarId, f64)], upper: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &(v, a) in terms {
+        if a < 0.0 {
+            acc += a * upper[v.0]; // may be -inf
+        }
+    }
+    acc
+}
+
+/// Runs presolve on `model`, returning the surviving rows.
+pub fn presolve(model: &Model, tol: f64) -> PresolveResult {
+    let upper = model.implied_upper();
+    let mut kept = Vec::with_capacity(model.num_constraints());
+    let mut removed = 0usize;
+    for (idx, c) in model.constraints().iter().enumerate() {
+        let droppable = match c.sense {
+            Sense::Le => {
+                if c.terms.is_empty() {
+                    if c.rhs < -tol {
+                        return PresolveResult::Infeasible { row: idx };
+                    }
+                    true
+                } else if c.terms.len() == 1 && c.terms[0].1 > 0.0 {
+                    // Singleton rows are frequently the *source* of a
+                    // declared implied bound; dropping them based on that
+                    // bound would be circular. Only drop when trivially
+                    // satisfied without bounds (negative coefficient case
+                    // falls through to max_activity = 0).
+                    false
+                } else {
+                    max_activity(&c.terms, upper) <= c.rhs + tol
+                }
+            }
+            Sense::Ge => {
+                if c.terms.is_empty() {
+                    if c.rhs > tol {
+                        return PresolveResult::Infeasible { row: idx };
+                    }
+                    true
+                } else if c.terms.len() == 1 && c.terms[0].1 < 0.0 {
+                    false
+                } else {
+                    min_activity(&c.terms, upper) >= c.rhs - tol
+                }
+            }
+            Sense::Eq => {
+                if c.terms.is_empty() {
+                    if c.rhs.abs() > tol {
+                        return PresolveResult::Infeasible { row: idx };
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if droppable {
+            removed += 1;
+        } else {
+            kept.push(idx);
+        }
+    }
+    PresolveResult::Reduced {
+        kept_rows: kept,
+        removed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    #[test]
+    fn redundant_le_row_dropped_with_implied_bounds() {
+        let mut m = Model::new();
+        let x = m.add_var(1.0);
+        let y = m.add_var(1.0);
+        m.set_implied_upper(x, 1.0);
+        m.set_implied_upper(y, 1.0);
+        m.add_le(vec![(x, 2.0), (y, 3.0)], 10.0); // max activity 5 <= 10
+        m.add_le(vec![(x, 2.0), (y, 3.0)], 4.0); // max activity 5 > 4: keep
+        match presolve(&m, 1e-9) {
+            PresolveResult::Reduced { kept_rows, removed } => {
+                assert_eq!(kept_rows, vec![1]);
+                assert_eq!(removed, 1);
+            }
+            _ => panic!("expected reduction"),
+        }
+    }
+
+    #[test]
+    fn unbounded_vars_keep_le_rows() {
+        let mut m = Model::new();
+        let x = m.add_var(1.0);
+        m.add_le(vec![(x, 1.0)], 100.0);
+        match presolve(&m, 1e-9) {
+            PresolveResult::Reduced { kept_rows, .. } => assert_eq!(kept_rows, vec![0]),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn negative_coefficients_le_redundant() {
+        // -x <= 5 is always satisfied for x >= 0.
+        let mut m = Model::new();
+        let x = m.add_var(1.0);
+        m.add_le(vec![(x, -1.0)], 5.0);
+        match presolve(&m, 1e-9) {
+            PresolveResult::Reduced { removed, .. } => assert_eq!(removed, 1),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn ge_row_with_nonneg_coeffs_and_nonpositive_rhs_dropped() {
+        let mut m = Model::new();
+        let x = m.add_var(1.0);
+        m.add_ge(vec![(x, 1.0)], -2.0); // min activity 0 >= -2
+        match presolve(&m, 1e-9) {
+            PresolveResult::Reduced { removed, .. } => assert_eq!(removed, 1),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn empty_rows() {
+        let mut m = Model::new();
+        let _ = m.add_var(1.0);
+        m.add_le(vec![], 0.0); // fine
+        m.add_eq(vec![], 0.0); // fine
+        match presolve(&m, 1e-9) {
+            PresolveResult::Reduced { removed, kept_rows } => {
+                assert_eq!(removed, 2);
+                assert!(kept_rows.is_empty());
+            }
+            _ => panic!(),
+        }
+        m.add_eq(vec![], 3.0); // infeasible
+        match presolve(&m, 1e-9) {
+            PresolveResult::Infeasible { row } => assert_eq!(row, 2),
+            _ => panic!("expected infeasible"),
+        }
+    }
+
+    #[test]
+    fn eq_rows_never_dropped() {
+        let mut m = Model::new();
+        let x = m.add_var(1.0);
+        m.set_implied_upper(x, 1.0);
+        m.add_eq(vec![(x, 1.0)], 0.5);
+        match presolve(&m, 1e-9) {
+            PresolveResult::Reduced { kept_rows, .. } => assert_eq!(kept_rows, vec![0]),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! Two-phase revised simplex with dense-LU basis factorization and
+//! product-form (eta) updates.
+//!
+//! Design, following the classic textbook revised simplex:
+//!
+//! * the constraint matrix (structural + slack/surplus/artificial columns)
+//!   is stored once in CSC form; the engine only ever reads columns;
+//! * the basis inverse is represented as `B₀⁻¹` (dense LU, refactorized
+//!   every [`SimplexOptions::refactor_period`] pivots) composed with a chain
+//!   of eta matrices — FTRAN applies them left-to-right, BTRAN right-to-left;
+//! * pricing is Dantzig (most negative reduced cost) with an automatic
+//!   switch to Bland's rule after a run of degenerate pivots, which
+//!   guarantees termination;
+//! * phase 1 minimizes the sum of artificial variables; leftover basic
+//!   artificials at value zero are pivoted out when possible and otherwise
+//!   provably stay at zero (their `B⁻¹A` row is zero).
+
+// Index-based loops are deliberate in these numeric kernels: they mirror
+// the textbook algorithms and keep row/column index arithmetic explicit.
+#![allow(clippy::needless_range_loop)]
+
+use crate::lu::LuFactors;
+use crate::model::{Model, Sense, Solution, Status};
+use crate::presolve::{presolve, PresolveResult};
+use crate::sparse::{CscMatrix, TripletBuilder};
+
+/// Tuning knobs for the simplex engine.
+#[derive(Clone, Debug)]
+pub struct SimplexOptions {
+    /// Hard cap on total pivots across both phases.
+    pub max_iterations: usize,
+    /// Pivots between basis refactorizations.
+    pub refactor_period: usize,
+    /// Reduced costs above `-opt_tol` count as nonnegative (optimality).
+    pub opt_tol: f64,
+    /// Column entries below this magnitude are unusable as pivots.
+    pub pivot_tol: f64,
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    pub degeneracy_patience: usize,
+    /// Run presolve before solving.
+    pub presolve: bool,
+    /// Force Bland's rule from the first pivot (ablation / debugging).
+    pub always_bland: bool,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            max_iterations: 200_000,
+            refactor_period: 64,
+            opt_tol: 1e-9,
+            pivot_tol: 1e-9,
+            degeneracy_patience: 60,
+            presolve: true,
+            always_bland: false,
+        }
+    }
+}
+
+/// Classification of a standard-form column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ColKind {
+    Structural,
+    Slack,
+    Surplus,
+    Artificial,
+}
+
+/// One product-form update: the basis column at position `r` was replaced,
+/// with pivot column `d = B⁻¹ a_q` captured densely.
+struct Eta {
+    r: usize,
+    d: Vec<f64>,
+}
+
+struct Engine<'a> {
+    a: CscMatrix,
+    b: Vec<f64>,
+    costs_phase2: Vec<f64>,
+    kind: Vec<ColKind>,
+    /// basis[pos] = column index basic at row position `pos`.
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    x_b: Vec<f64>,
+    lu: LuFactors,
+    etas: Vec<Eta>,
+    opts: &'a SimplexOptions,
+    iterations: usize,
+    scratch: Vec<f64>,
+}
+
+/// Outcome of one phase.
+enum PhaseEnd {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+impl<'a> Engine<'a> {
+    fn m(&self) -> usize {
+        self.b.len()
+    }
+
+    /// FTRAN: overwrite `v` with `B⁻¹ v`.
+    fn ftran(&self, v: &mut [f64]) {
+        self.lu.solve_in_place(v);
+        for eta in &self.etas {
+            let t = v[eta.r] / eta.d[eta.r];
+            if t != 0.0 {
+                for (vi, di) in v.iter_mut().zip(&eta.d) {
+                    *vi -= di * t;
+                }
+            }
+            v[eta.r] = t;
+        }
+    }
+
+    /// BTRAN: overwrite `v` with `B⁻ᵀ v`.
+    fn btran(&self, v: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            let mut s = v[eta.r];
+            // y_r = (v_r - Σ_{i≠r} d_i v_i) / d_r, y_i = v_i otherwise.
+            for (i, (&di, &vi)) in eta.d.iter().zip(v.iter()).enumerate() {
+                if i != eta.r {
+                    s -= di * vi;
+                }
+            }
+            v[eta.r] = s / eta.d[eta.r];
+        }
+        self.lu.solve_transpose_in_place(v);
+    }
+
+    /// Rebuilds the dense basis matrix, refactorizes, and recomputes `x_B`.
+    fn refactorize(&mut self) {
+        let m = self.m();
+        let mut dense = vec![0.0; m * m];
+        for (pos, &col) in self.basis.iter().enumerate() {
+            let (idx, vals) = self.a.column(col);
+            for (&i, &v) in idx.iter().zip(vals) {
+                dense[i * m + pos] = v;
+            }
+        }
+        self.lu = LuFactors::factorize(m, &dense)
+            .expect("basis matrix must be nonsingular (pivot selection bug)");
+        self.etas.clear();
+        let mut xb = self.b.clone();
+        self.ftran(&mut xb);
+        self.x_b = xb;
+    }
+
+    /// Runs the simplex loop for the given phase cost vector.
+    /// `allow_artificial_entering` is true only in phase 1.
+    fn run_phase(&mut self, costs: &[f64], allow_artificial_entering: bool) -> PhaseEnd {
+        let m = self.m();
+        let mut degenerate_run = 0usize;
+        loop {
+            if self.iterations >= self.opts.max_iterations {
+                return PhaseEnd::IterationLimit;
+            }
+            // Pricing: y = B^{-T} c_B, reduced costs r_j = c_j - y' a_j.
+            let mut y = vec![0.0; m];
+            for (pos, &col) in self.basis.iter().enumerate() {
+                y[pos] = costs[col];
+            }
+            self.btran(&mut y);
+
+            let use_bland = self.opts.always_bland
+                || degenerate_run >= self.opts.degeneracy_patience;
+            let mut entering: Option<(usize, f64)> = None;
+            for j in 0..self.a.cols() {
+                if self.in_basis[j] {
+                    continue;
+                }
+                if !allow_artificial_entering && self.kind[j] == ColKind::Artificial {
+                    continue;
+                }
+                let rj = costs[j] - self.a.column_dot(j, &y);
+                if rj < -self.opts.opt_tol {
+                    match entering {
+                        None => entering = Some((j, rj)),
+                        Some((_, best)) if !use_bland && rj < best => {
+                            entering = Some((j, rj));
+                        }
+                        _ => {}
+                    }
+                    if use_bland {
+                        break; // Bland: first improving index.
+                    }
+                }
+            }
+            let Some((q, _)) = entering else {
+                return PhaseEnd::Optimal;
+            };
+
+            // FTRAN the entering column.
+            self.scratch.clear();
+            self.scratch.resize(m, 0.0);
+            self.a.scatter_column(q, 1.0, &mut self.scratch);
+            let mut d = std::mem::take(&mut self.scratch);
+            self.ftran(&mut d);
+
+            // Ratio test.
+            let mut leave: Option<(usize, f64)> = None; // (position, theta)
+            for (pos, &di) in d.iter().enumerate() {
+                if di > self.opts.pivot_tol {
+                    let xb = self.x_b[pos].max(0.0);
+                    let theta = xb / di;
+                    match leave {
+                        None => leave = Some((pos, theta)),
+                        Some((lpos, ltheta)) => {
+                            let better = if use_bland {
+                                theta < ltheta - 1e-12
+                                    || (theta <= ltheta + 1e-12
+                                        && self.basis[pos] < self.basis[lpos])
+                            } else {
+                                theta < ltheta - 1e-12
+                                    || (theta <= ltheta + 1e-12 && di > d[lpos])
+                            };
+                            if better {
+                                leave = Some((pos, theta));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((r, theta)) = leave else {
+                self.scratch = d;
+                return PhaseEnd::Unbounded;
+            };
+
+            // Update basic values.
+            for (pos, xb) in self.x_b.iter_mut().enumerate() {
+                *xb -= theta * d[pos];
+            }
+            self.x_b[r] = theta;
+            let leaving_col = self.basis[r];
+            self.in_basis[leaving_col] = false;
+            self.in_basis[q] = true;
+            self.basis[r] = q;
+            self.iterations += 1;
+            if theta <= self.opts.pivot_tol {
+                degenerate_run += 1;
+            } else {
+                degenerate_run = 0;
+            }
+
+            self.etas.push(Eta { r, d });
+            if self.etas.len() >= self.opts.refactor_period {
+                self.refactorize();
+            }
+        }
+    }
+
+    /// After phase 1: pivot basic artificials out where a usable non-
+    /// artificial column exists in their row; remaining ones sit on
+    /// linearly-dependent rows and provably stay at zero.
+    fn drive_out_artificials(&mut self) {
+        let m = self.m();
+        for pos in 0..m {
+            if self.kind[self.basis[pos]] != ColKind::Artificial {
+                continue;
+            }
+            // Row `pos` of B^{-1} A: e_pos^T B^{-1} a_j for candidate j.
+            let mut e = vec![0.0; m];
+            e[pos] = 1.0;
+            self.btran(&mut e);
+            let mut found = None;
+            for j in 0..self.a.cols() {
+                if self.in_basis[j] || self.kind[j] == ColKind::Artificial {
+                    continue;
+                }
+                let alpha = self.a.column_dot(j, &e);
+                if alpha.abs() > 1e-7 {
+                    found = Some(j);
+                    break;
+                }
+            }
+            if let Some(j) = found {
+                // Degenerate pivot: x_b[pos] is 0, so values are unchanged.
+                let mut d = vec![0.0; m];
+                self.a.scatter_column(j, 1.0, &mut d);
+                self.ftran(&mut d);
+                debug_assert!(d[pos].abs() > 1e-9);
+                let old = self.basis[pos];
+                self.in_basis[old] = false;
+                self.in_basis[j] = true;
+                self.basis[pos] = j;
+                self.etas.push(Eta { r: pos, d });
+                if self.etas.len() >= self.opts.refactor_period {
+                    self.refactorize();
+                }
+            }
+        }
+    }
+}
+
+/// Solves `model` with the given options.
+pub fn solve_with(model: &Model, opts: &SimplexOptions) -> Solution {
+    let n = model.num_vars();
+    let infeasible = |removed: usize| Solution {
+        status: Status::Infeasible,
+        objective: f64::INFINITY,
+        x: vec![0.0; n],
+        duals: vec![0.0; model.num_constraints()],
+        iterations: 0,
+        presolve_rows_removed: removed,
+    };
+
+    // Presolve.
+    let (kept_rows, removed) = if opts.presolve {
+        match presolve(model, opts.opt_tol) {
+            PresolveResult::Infeasible { .. } => return infeasible(0),
+            PresolveResult::Reduced { kept_rows, removed } => (kept_rows, removed),
+        }
+    } else {
+        ((0..model.num_constraints()).collect(), 0)
+    };
+
+    let m = kept_rows.len();
+    if m == 0 {
+        // No constraints: minimum is 0 unless some cost is negative
+        // (then unbounded since variables have no real upper bounds here).
+        let unbounded = model.costs().iter().any(|&c| c < 0.0);
+        return Solution {
+            status: if unbounded {
+                Status::Unbounded
+            } else {
+                Status::Optimal
+            },
+            objective: if unbounded { f64::NEG_INFINITY } else { 0.0 },
+            x: vec![0.0; n],
+            duals: vec![0.0; model.num_constraints()],
+            iterations: 0,
+            presolve_rows_removed: removed,
+        };
+    }
+
+    // Standard form: flip rows to make rhs >= 0, then add slack / surplus /
+    // artificial columns.
+    let mut flipped = vec![false; m];
+    let mut senses = Vec::with_capacity(m);
+    let mut b = Vec::with_capacity(m);
+    for (r, &orig) in kept_rows.iter().enumerate() {
+        let c = &model.constraints()[orig];
+        let (sense, rhs) = if c.rhs < 0.0 {
+            flipped[r] = true;
+            let s = match c.sense {
+                Sense::Le => Sense::Ge,
+                Sense::Ge => Sense::Le,
+                Sense::Eq => Sense::Eq,
+            };
+            (s, -c.rhs)
+        } else {
+            (c.sense, c.rhs)
+        };
+        senses.push(sense);
+        b.push(rhs);
+    }
+
+    // Count auxiliary columns.
+    let mut n_total = n;
+    let mut aux_cols: Vec<(usize, ColKind, usize)> = Vec::new(); // (col, kind, row)
+    for (r, s) in senses.iter().enumerate() {
+        match s {
+            Sense::Le => {
+                aux_cols.push((n_total, ColKind::Slack, r));
+                n_total += 1;
+            }
+            Sense::Ge => {
+                aux_cols.push((n_total, ColKind::Surplus, r));
+                n_total += 1;
+                aux_cols.push((n_total, ColKind::Artificial, r));
+                n_total += 1;
+            }
+            Sense::Eq => {
+                aux_cols.push((n_total, ColKind::Artificial, r));
+                n_total += 1;
+            }
+        }
+    }
+
+    // Assemble the full standard-form matrix.
+    let mut builder = TripletBuilder::new(m, n_total);
+    for (r, &orig) in kept_rows.iter().enumerate() {
+        let sign = if flipped[r] { -1.0 } else { 1.0 };
+        for &(v, a) in &model.constraints()[orig].terms {
+            builder.push(r, v.0, sign * a);
+        }
+    }
+    for &(col, kind, row) in &aux_cols {
+        let v = match kind {
+            ColKind::Slack | ColKind::Artificial => 1.0,
+            ColKind::Surplus => -1.0,
+            ColKind::Structural => unreachable!(),
+        };
+        builder.push(row, col, v);
+    }
+    let a = builder.build();
+
+    let mut kind = vec![ColKind::Structural; n_total];
+    for &(col, k, _) in &aux_cols {
+        kind[col] = k;
+    }
+    let mut costs_phase2 = vec![0.0; n_total];
+    costs_phase2[..n].copy_from_slice(model.costs());
+
+    // Initial basis: slack for Le rows, artificial for Ge/Eq rows.
+    let mut basis = vec![usize::MAX; m];
+    for &(col, k, row) in &aux_cols {
+        match k {
+            ColKind::Slack | ColKind::Artificial => basis[row] = col,
+            _ => {}
+        }
+    }
+    debug_assert!(basis.iter().all(|&c| c != usize::MAX));
+    let mut in_basis = vec![false; n_total];
+    for &c in &basis {
+        in_basis[c] = true;
+    }
+    let has_artificials = aux_cols.iter().any(|&(_, k, _)| k == ColKind::Artificial);
+
+    let identity = {
+        let mut d = vec![0.0; m * m];
+        for i in 0..m {
+            d[i * m + i] = 1.0;
+        }
+        d
+    };
+    // Initial basis is NOT the identity in general (artificials are +1 but
+    // sit on flipped rows already handled; slack and artificial columns are
+    // unit vectors, so it IS identity). Factorize the identity directly.
+    let lu = LuFactors::factorize(m, &identity).expect("identity is nonsingular");
+
+    let mut engine = Engine {
+        a,
+        b: b.clone(),
+        costs_phase2: costs_phase2.clone(),
+        kind,
+        basis,
+        in_basis,
+        x_b: b.clone(),
+        lu,
+        etas: Vec::new(),
+        opts,
+        iterations: 0,
+        scratch: Vec::new(),
+    };
+
+    // Phase 1.
+    if has_artificials {
+        let mut costs_phase1 = vec![0.0; n_total];
+        for (j, k) in engine.kind.iter().enumerate() {
+            if *k == ColKind::Artificial {
+                costs_phase1[j] = 1.0;
+            }
+        }
+        match engine.run_phase(&costs_phase1, true) {
+            PhaseEnd::IterationLimit => {
+                return Solution {
+                    status: Status::IterationLimit,
+                    objective: f64::NAN,
+                    x: vec![0.0; n],
+                    duals: vec![0.0; model.num_constraints()],
+                    iterations: engine.iterations,
+                    presolve_rows_removed: removed,
+                };
+            }
+            PhaseEnd::Unbounded => unreachable!("phase 1 objective is bounded below by 0"),
+            PhaseEnd::Optimal => {}
+        }
+        let phase1_obj: f64 = engine
+            .basis
+            .iter()
+            .zip(&engine.x_b)
+            .filter(|(c, _)| engine.kind[**c] == ColKind::Artificial)
+            .map(|(_, &v)| v)
+            .sum();
+        if phase1_obj > 1e-7 {
+            return infeasible(removed);
+        }
+        engine.refactorize();
+        engine.drive_out_artificials();
+    }
+
+    // Phase 2.
+    let phase2_costs = engine.costs_phase2.clone();
+    let end = engine.run_phase(&phase2_costs, false);
+    let status = match end {
+        PhaseEnd::Optimal => Status::Optimal,
+        PhaseEnd::Unbounded => Status::Unbounded,
+        PhaseEnd::IterationLimit => Status::IterationLimit,
+    };
+
+    // Extract primal values.
+    let mut x = vec![0.0; n];
+    for (pos, &col) in engine.basis.iter().enumerate() {
+        if col < n {
+            x[col] = engine.x_b[pos].max(0.0);
+        }
+    }
+    let objective = model.objective_value(&x);
+
+    // Extract duals: y = B^{-T} c_B, un-flip flipped rows, scatter to
+    // original row indices.
+    let mut y = vec![0.0; m];
+    for (pos, &col) in engine.basis.iter().enumerate() {
+        y[pos] = engine.costs_phase2[col];
+    }
+    engine.btran(&mut y);
+    let mut duals = vec![0.0; model.num_constraints()];
+    for (r, &orig) in kept_rows.iter().enumerate() {
+        duals[orig] = if flipped[r] { -y[r] } else { y[r] };
+    }
+
+    Solution {
+        status,
+        objective,
+        x,
+        duals,
+        iterations: engine.iterations,
+        presolve_rows_removed: removed,
+    }
+}
+
+/// Solves `model` with default options.
+pub fn solve(model: &Model) -> Solution {
+    solve_with(model, &SimplexOptions::default())
+}

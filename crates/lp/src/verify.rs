@@ -1,0 +1,123 @@
+//! Independent optimality certification via LP duality.
+//!
+//! Because this solver is hand-built, every optimum used by the scheduling
+//! pipeline can be re-certified from first principles: a primal-feasible `x`
+//! and dual-feasible `y` with equal objectives are *both* optimal (strong
+//! duality), no trust in the simplex internals required.
+
+use crate::model::{Model, Sense, Solution};
+
+/// Result of certifying a claimed optimal solution.
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    /// Maximum primal constraint violation.
+    pub primal_violation: f64,
+    /// Maximum dual-feasibility violation (negative reduced cost magnitude
+    /// and dual sign violations).
+    pub dual_violation: f64,
+    /// `|cᵀx − bᵀy|` duality gap.
+    pub gap: f64,
+    /// Maximum complementary-slackness residual.
+    pub comp_slackness: f64,
+}
+
+impl Certificate {
+    /// True when all residuals are below `tol` (scaled by problem size).
+    pub fn holds(&self, tol: f64) -> bool {
+        self.primal_violation <= tol
+            && self.dual_violation <= tol
+            && self.gap <= tol
+            && self.comp_slackness <= tol
+    }
+}
+
+/// Computes the duality certificate for a claimed optimal `solution`.
+///
+/// Sign conventions for `min cᵀx, x ≥ 0`: a `≥` row has dual `y ≥ 0`, a `≤`
+/// row has `y ≤ 0`, an `=` row is free; dual feasibility is
+/// `c − Aᵀy ≥ 0`.
+pub fn certify(model: &Model, solution: &Solution) -> Certificate {
+    let x = &solution.x;
+    let y = &solution.duals;
+    let primal_violation = model.max_violation(x);
+
+    // Reduced costs c - A^T y.
+    let mut reduced = model.costs().to_vec();
+    for (row, c) in model.constraints().iter().enumerate() {
+        let yi = y[row];
+        if yi != 0.0 {
+            for &(v, a) in &c.terms {
+                reduced[v.0] -= a * yi;
+            }
+        }
+    }
+
+    let mut dual_violation: f64 = 0.0;
+    for &r in &reduced {
+        dual_violation = dual_violation.max(-r);
+    }
+    let mut by = 0.0;
+    for (row, c) in model.constraints().iter().enumerate() {
+        by += y[row] * c.rhs;
+        let sign_viol = match c.sense {
+            Sense::Ge => (-y[row]).max(0.0),
+            Sense::Le => y[row].max(0.0),
+            Sense::Eq => 0.0,
+        };
+        dual_violation = dual_violation.max(sign_viol);
+    }
+
+    let cx = model.objective_value(x);
+    let scale = 1.0 + cx.abs().max(by.abs());
+    let gap = (cx - by).abs() / scale;
+
+    // Complementary slackness: x_j (c - A^T y)_j = 0 and y_i (a_i x - b_i) = 0.
+    let mut cs: f64 = 0.0;
+    for (xj, rj) in x.iter().zip(&reduced) {
+        cs = cs.max((xj * rj).abs() / scale);
+    }
+    for (row, c) in model.constraints().iter().enumerate() {
+        let act: f64 = c.terms.iter().map(|&(v, a)| a * x[v.0]).sum();
+        cs = cs.max((y[row] * (act - c.rhs)).abs() / scale);
+    }
+
+    Certificate {
+        primal_violation,
+        dual_violation,
+        gap,
+        comp_slackness: cs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+    use crate::simplex::solve;
+
+    #[test]
+    fn certificate_on_simple_lp() {
+        // min -x - y  s.t. x + y <= 1, x,y >= 0 -> objective -1.
+        let mut m = Model::new();
+        let x = m.add_var(-1.0);
+        let y = m.add_var(-1.0);
+        m.add_le(vec![(x, 1.0), (y, 1.0)], 1.0);
+        let sol = solve(&m);
+        assert!(sol.is_optimal());
+        assert!((sol.objective + 1.0).abs() < 1e-9);
+        let cert = certify(&m, &sol);
+        assert!(cert.holds(1e-7), "{:?}", cert);
+    }
+
+    #[test]
+    fn certificate_detects_bogus_duals() {
+        let mut m = Model::new();
+        let x = m.add_var(-1.0);
+        m.add_le(vec![(x, 1.0)], 1.0);
+        let mut sol = solve(&m);
+        assert!(sol.is_optimal());
+        sol.duals[0] = 5.0; // wrong sign for a <= row in a min problem
+        let cert = certify(&m, &sol);
+        assert!(!cert.holds(1e-7));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the simplex engine: every optimum on randomly
+//! generated feasible LPs must carry a valid strong-duality certificate, and
+//! presolve must never change the optimal value.
+
+use coflow_lp::{certify, solve, solve_with, Model, SimplexOptions, Status, VarId};
+use proptest::prelude::*;
+
+/// A random feasible-by-construction LP: pick x* ≥ 0, nonnegative rows with
+/// b = A x* + slack (≤ rows), plus box constraints keeping it bounded.
+#[derive(Debug, Clone)]
+struct RandomLp {
+    costs: Vec<f64>,
+    rows: Vec<(Vec<(usize, f64)>, f64)>,
+    cap: f64,
+}
+
+fn random_lp() -> impl Strategy<Value = RandomLp> {
+    (2usize..7).prop_flat_map(|n| {
+        let costs = proptest::collection::vec(-4.0..4.0f64, n);
+        let xstar = proptest::collection::vec(0.0..3.0f64, n);
+        let rows = proptest::collection::vec(
+            (
+                proptest::collection::vec(0.0..2.0f64, n),
+                0.0..2.0f64, // slack
+            ),
+            1..6,
+        );
+        (costs, xstar, rows).prop_map(move |(costs, xstar, rows)| {
+            let rows = rows
+                .into_iter()
+                .map(|(coeffs, slack)| {
+                    let terms: Vec<(usize, f64)> = coeffs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &a)| a > 0.05)
+                        .map(|(j, &a)| (j, a))
+                        .collect();
+                    let act: f64 = terms.iter().map(|&(j, a)| a * xstar[j]).sum();
+                    (terms, act + slack)
+                })
+                .collect();
+            RandomLp {
+                costs,
+                rows,
+                cap: 8.0,
+            }
+        })
+    })
+}
+
+fn build(lp: &RandomLp) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<VarId> = lp.costs.iter().map(|&c| m.add_var(c)).collect();
+    for (terms, rhs) in &lp.rows {
+        if terms.is_empty() {
+            continue;
+        }
+        let t = terms.iter().map(|&(j, a)| (vars[j], a)).collect();
+        m.add_le(t, *rhs);
+    }
+    for &v in &vars {
+        m.set_implied_upper(v, lp.cap);
+        m.add_le(vec![(v, 1.0)], lp.cap);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every optimum certifies via strong duality.
+    #[test]
+    fn optimum_certifies(lp in random_lp()) {
+        let model = build(&lp);
+        let sol = solve(&model);
+        prop_assert_eq!(sol.status, Status::Optimal);
+        let cert = certify(&model, &sol);
+        prop_assert!(cert.holds(1e-5), "{:?}", cert);
+    }
+
+    /// Presolve on/off and Bland/Dantzig pricing all agree on the optimum.
+    #[test]
+    fn solver_configurations_agree(lp in random_lp()) {
+        let model = build(&lp);
+        let a = solve(&model);
+        let b = solve_with(&model, &SimplexOptions { presolve: false, ..Default::default() });
+        let c = solve_with(&model, &SimplexOptions { always_bland: true, ..Default::default() });
+        let d = solve_with(&model, &SimplexOptions { refactor_period: 4, ..Default::default() });
+        prop_assert_eq!(a.status, Status::Optimal);
+        for other in [&b, &c, &d] {
+            prop_assert_eq!(other.status, Status::Optimal);
+            prop_assert!((a.objective - other.objective).abs() < 1e-6 * (1.0 + a.objective.abs()),
+                "{} vs {}", a.objective, other.objective);
+        }
+    }
+
+    /// The reported primal solution is feasible and matches the objective.
+    #[test]
+    fn solution_is_feasible(lp in random_lp()) {
+        let model = build(&lp);
+        let sol = solve(&model);
+        prop_assert_eq!(sol.status, Status::Optimal);
+        prop_assert!(model.max_violation(&sol.x) < 1e-7);
+        prop_assert!((model.objective_value(&sol.x) - sol.objective).abs() < 1e-7);
+    }
+}

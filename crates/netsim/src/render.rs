@@ -1,0 +1,128 @@
+//! Text rendering of schedule traces — per-port timelines ("Gantt charts")
+//! for debugging and the examples.
+//!
+//! Each ingress port gets a row; time runs left to right in fixed-width
+//! buckets; the glyph in a bucket identifies the coflow that the port spent
+//! the most slots serving in that bucket (`.` = idle).
+
+use crate::trace::ScheduleTrace;
+
+/// Glyph for coflow `k` (cycles through alphanumerics).
+fn glyph(k: usize) -> char {
+    const GLYPHS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    GLYPHS[k % GLYPHS.len()] as char
+}
+
+/// Renders the ingress-port timeline of `trace` using at most `width`
+/// character columns. Returns an empty string for an empty trace.
+pub fn render_timeline(trace: &ScheduleTrace, width: usize) -> String {
+    let makespan = trace.makespan();
+    if makespan == 0 || width == 0 {
+        return String::new();
+    }
+    let m = trace.m;
+    let bucket = makespan.div_ceil(width as u64).max(1);
+    let cols = makespan.div_ceil(bucket) as usize;
+    // busy[port][col][coflow] -> slots; keep it simple with a map per cell.
+    let mut cell: Vec<Vec<std::collections::HashMap<usize, u64>>> =
+        vec![vec![std::collections::HashMap::new(); cols]; m];
+
+    for run in &trace.runs {
+        let mut pair_used: std::collections::HashMap<(usize, usize), u64> =
+            std::collections::HashMap::new();
+        for t in &run.transfers {
+            let used = pair_used.entry((t.src, t.dst)).or_insert(0);
+            let first = run.start + *used;
+            *used += t.units;
+            // Distribute the units across buckets.
+            let mut remaining = t.units;
+            let mut slot = first;
+            while remaining > 0 {
+                let col = ((slot - 1) / bucket) as usize;
+                let col_end = (col as u64 + 1) * bucket;
+                let here = remaining.min(col_end - (slot - 1));
+                *cell[t.src][col].entry(t.coflow).or_insert(0) += here;
+                remaining -= here;
+                slot += here;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "ingress timelines, {} slots/column, makespan {}\n",
+        bucket, makespan
+    ));
+    for (port, row) in cell.iter().enumerate() {
+        out.push_str(&format!("in{:>3} |", port));
+        for col in row {
+            let ch = col
+                .iter()
+                .max_by_key(|&(_, &slots)| slots)
+                .map(|(&k, _)| glyph(k))
+                .unwrap_or('.');
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Run, Transfer};
+
+    #[test]
+    fn renders_single_run() {
+        let mut trace = ScheduleTrace::new(2);
+        trace.push_run(Run {
+            start: 1,
+            duration: 4,
+            transfers: vec![
+                Transfer { src: 0, dst: 1, coflow: 0, units: 4 },
+                Transfer { src: 1, dst: 0, coflow: 1, units: 2 },
+            ],
+        });
+        let text = render_timeline(&trace, 80);
+        assert!(text.contains("in  0 |0000"));
+        assert!(text.contains("in  1 |11.."));
+    }
+
+    #[test]
+    fn buckets_compress_long_traces() {
+        let mut trace = ScheduleTrace::new(1);
+        trace.push_run(Run {
+            start: 1,
+            duration: 1000,
+            transfers: vec![Transfer { src: 0, dst: 0, coflow: 3, units: 1000 }],
+        });
+        let text = render_timeline(&trace, 10);
+        // 1000 slots in <= 10 columns of 100.
+        assert!(text.contains("slots/column"));
+        let line = text.lines().nth(1).unwrap();
+        assert!(line.len() <= "in  0 |".len() + 10);
+        assert!(line.contains('3'));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        assert_eq!(render_timeline(&ScheduleTrace::new(3), 40), "");
+    }
+
+    #[test]
+    fn priority_order_within_pair_is_respected() {
+        // Coflow 0 occupies the first bucket, coflow 1 the second.
+        let mut trace = ScheduleTrace::new(1);
+        trace.push_run(Run {
+            start: 1,
+            duration: 2,
+            transfers: vec![
+                Transfer { src: 0, dst: 0, coflow: 0, units: 1 },
+                Transfer { src: 0, dst: 0, coflow: 1, units: 1 },
+            ],
+        });
+        let text = render_timeline(&trace, 2);
+        assert!(text.contains("|01"), "{}", text);
+    }
+}

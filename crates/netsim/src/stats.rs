@@ -1,0 +1,78 @@
+//! Utilization statistics over schedule traces.
+//!
+//! Backfilling exists precisely to reclaim the *unforced idle time* that the
+//! Birkhoff–von Neumann augmentation introduces (§4.1 of the paper); these
+//! statistics quantify it.
+
+use crate::trace::ScheduleTrace;
+
+/// Aggregate utilization metrics of a schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceStats {
+    /// Last slot used.
+    pub makespan: u64,
+    /// Total data units moved.
+    pub total_units: u64,
+    /// Slot-pair capacity offered by the runs (Σ duration × pairs).
+    pub offered_capacity: u64,
+    /// Capacity offered but unused — idle port-pair slots inside runs.
+    pub idle_pair_slots: u64,
+    /// `total_units / (makespan · m)`: overall fabric utilization in [0, 1].
+    pub fabric_utilization: f64,
+}
+
+/// Computes utilization statistics for a trace.
+pub fn trace_stats(trace: &ScheduleTrace) -> TraceStats {
+    let mut offered = 0u64;
+    let mut moved = 0u64;
+    for run in &trace.runs {
+        let mut pairs = std::collections::HashSet::new();
+        for t in &run.transfers {
+            pairs.insert((t.src, t.dst));
+            moved += t.units;
+        }
+        offered += run.duration * pairs.len() as u64;
+    }
+    let makespan = trace.makespan();
+    let denom = (makespan * trace.m as u64).max(1);
+    TraceStats {
+        makespan,
+        total_units: moved,
+        offered_capacity: offered,
+        idle_pair_slots: offered - moved,
+        fabric_utilization: moved as f64 / denom as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Run, Transfer};
+
+    #[test]
+    fn stats_account_for_idle_capacity() {
+        let mut trace = ScheduleTrace::new(2);
+        trace.push_run(Run {
+            start: 1,
+            duration: 4,
+            transfers: vec![
+                Transfer { src: 0, dst: 1, coflow: 0, units: 3 },
+                Transfer { src: 1, dst: 0, coflow: 0, units: 4 },
+            ],
+        });
+        let s = trace_stats(&trace);
+        assert_eq!(s.makespan, 4);
+        assert_eq!(s.total_units, 7);
+        assert_eq!(s.offered_capacity, 8);
+        assert_eq!(s.idle_pair_slots, 1);
+        assert!((s.fabric_utilization - 7.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = trace_stats(&ScheduleTrace::new(4));
+        assert_eq!(s.makespan, 0);
+        assert_eq!(s.total_units, 0);
+        assert_eq!(s.fabric_utilization, 0.0);
+    }
+}

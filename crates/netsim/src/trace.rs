@@ -1,0 +1,149 @@
+//! Run-length encoded matching schedules.
+//!
+//! The paper's schedules are sequences of *matchings*, each held for some
+//! number of consecutive slots (`q_u` in Algorithm 1). A [`ScheduleTrace`]
+//! records exactly that: non-overlapping [`Run`]s, each pairing ports in a
+//! (partial) matching and transferring units of specific coflows. Multiple
+//! coflows may share a port pair within a run — that is how backfilling
+//! manifests — as long as their total does not exceed the run's duration.
+
+/// Data movement of one coflow on one port pair within a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transfer {
+    /// Ingress port.
+    pub src: usize,
+    /// Egress port.
+    pub dst: usize,
+    /// Coflow index.
+    pub coflow: usize,
+    /// Units transferred (1 unit = 1 slot of the pair's capacity).
+    pub units: u64,
+}
+
+/// A matching held for `duration` consecutive slots starting at `start`.
+///
+/// Within a run each ingress appears with at most one egress and vice versa
+/// (the matching constraints (2)–(3) of the paper); transfers on the same
+/// pair are processed in the order listed, which encodes coflow priority for
+/// completion-time accounting.
+#[derive(Clone, Debug, Default)]
+pub struct Run {
+    /// First time slot of the run (slots are 1-indexed: the first slot of
+    /// the horizon is slot 1, matching the paper's `t = 1, 2, …`).
+    pub start: u64,
+    /// Number of consecutive slots.
+    pub duration: u64,
+    /// Transfers, grouped by pair in priority order.
+    pub transfers: Vec<Transfer>,
+}
+
+impl Run {
+    /// Total units moved during this run.
+    pub fn total_units(&self) -> u64 {
+        self.transfers.iter().map(|t| t.units).sum()
+    }
+}
+
+/// A complete run-length schedule for an `m × m` fabric.
+#[derive(Clone, Debug)]
+pub struct ScheduleTrace {
+    /// Fabric size.
+    pub m: usize,
+    /// Runs in increasing time order; runs must not overlap.
+    pub runs: Vec<Run>,
+}
+
+impl ScheduleTrace {
+    /// Creates an empty trace for an `m × m` fabric.
+    pub fn new(m: usize) -> Self {
+        ScheduleTrace { m, runs: Vec::new() }
+    }
+
+    /// Appends a run; panics if it starts before the previous run ends.
+    pub fn push_run(&mut self, run: Run) {
+        if let Some(last) = self.runs.last() {
+            assert!(
+                run.start >= last.start + last.duration,
+                "runs must not overlap: new start {} < previous end {}",
+                run.start,
+                last.start + last.duration
+            );
+        }
+        self.runs.push(run);
+    }
+
+    /// The last slot used by the schedule (its makespan).
+    pub fn makespan(&self) -> u64 {
+        self.runs
+            .last()
+            .map(|r| r.start + r.duration - 1)
+            .unwrap_or(0)
+    }
+
+    /// Total units moved by the whole schedule.
+    pub fn total_units(&self) -> u64 {
+        self.runs.iter().map(Run::total_units).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_run_ordering_enforced() {
+        let mut t = ScheduleTrace::new(2);
+        t.push_run(Run {
+            start: 1,
+            duration: 3,
+            transfers: vec![],
+        });
+        t.push_run(Run {
+            start: 4,
+            duration: 2,
+            transfers: vec![],
+        });
+        assert_eq!(t.makespan(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not overlap")]
+    fn overlapping_runs_rejected() {
+        let mut t = ScheduleTrace::new(2);
+        t.push_run(Run {
+            start: 1,
+            duration: 3,
+            transfers: vec![],
+        });
+        t.push_run(Run {
+            start: 2,
+            duration: 1,
+            transfers: vec![],
+        });
+    }
+
+    #[test]
+    fn totals() {
+        let mut t = ScheduleTrace::new(2);
+        t.push_run(Run {
+            start: 1,
+            duration: 2,
+            transfers: vec![
+                Transfer {
+                    src: 0,
+                    dst: 1,
+                    coflow: 0,
+                    units: 2,
+                },
+                Transfer {
+                    src: 1,
+                    dst: 0,
+                    coflow: 1,
+                    units: 1,
+                },
+            ],
+        });
+        assert_eq!(t.total_units(), 3);
+        assert_eq!(t.makespan(), 2);
+    }
+}

@@ -1,0 +1,286 @@
+//! Independent validation of schedule traces.
+//!
+//! Every scheduler in this project is checked end-to-end: the trace it
+//! produces is replayed here against the *original* instance data and the
+//! formal constraints of problem (O) — matching constraints per slot, release
+//! dates, and exact demand delivery — and completion times are recomputed
+//! from scratch. Tests compare these against the scheduler's own accounting.
+
+use crate::trace::ScheduleTrace;
+use coflow_matching::IntMatrix;
+
+/// A violation found while validating a trace.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValidationError {
+    /// An ingress or egress port was matched twice within one run.
+    PortReused {
+        /// Index of the offending run.
+        run: usize,
+        /// The reused port.
+        port: usize,
+        /// True for an ingress port, false for an egress port.
+        ingress: bool,
+    },
+    /// A pair moved more units than the run duration allows.
+    PairOverCapacity {
+        /// Index of the offending run.
+        run: usize,
+        /// Ingress of the pair.
+        src: usize,
+        /// Egress of the pair.
+        dst: usize,
+        /// Units attempted.
+        units: u64,
+        /// Slots available.
+        capacity: u64,
+    },
+    /// A coflow's unit was moved in a slot before its release allows.
+    ReleaseViolated {
+        /// Index of the offending run.
+        run: usize,
+        /// The coflow.
+        coflow: usize,
+        /// Slot of the first offending unit.
+        slot: u64,
+        /// The coflow's release date.
+        release: u64,
+    },
+    /// More units moved on a pair than the coflow demands there.
+    OverDelivery {
+        /// The coflow.
+        coflow: usize,
+        /// Ingress of the pair.
+        src: usize,
+        /// Egress of the pair.
+        dst: usize,
+    },
+    /// Demand left undelivered at the end of the trace.
+    UnderDelivery {
+        /// The coflow.
+        coflow: usize,
+        /// Units never delivered.
+        missing: u64,
+    },
+    /// A transfer references a coflow index outside the instance.
+    UnknownCoflow {
+        /// The offending index.
+        coflow: usize,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Replays `trace` against the instance (`demands`, `releases`) and returns
+/// the recomputed completion time of every coflow.
+///
+/// Coflows with zero demand complete at their release date, matching
+/// [`crate::Fabric`]'s convention.
+pub fn validate_trace(
+    demands: &[IntMatrix],
+    releases: &[u64],
+    trace: &ScheduleTrace,
+) -> Result<Vec<u64>, ValidationError> {
+    let n = demands.len();
+    let m = trace.m;
+    let mut delivered: Vec<IntMatrix> = demands.iter().map(|d| IntMatrix::zeros(d.dim())).collect();
+    let mut remaining_total: Vec<u64> = demands.iter().map(IntMatrix::total).collect();
+    let mut completion: Vec<u64> = releases.to_vec();
+    let mut last_activity: Vec<u64> = vec![0; n];
+
+    for (ridx, run) in trace.runs.iter().enumerate() {
+        let mut src_used = vec![false; m];
+        let mut dst_used = vec![false; m];
+        // Units already consumed on each pair (for offset accounting). Pairs
+        // appear contiguously in `transfers` by construction, but we do not
+        // rely on that: track per-pair usage in a map keyed by pair.
+        let mut pair_used: std::collections::HashMap<(usize, usize), u64> =
+            std::collections::HashMap::new();
+        let mut pair_seen: std::collections::HashSet<(usize, usize)> =
+            std::collections::HashSet::new();
+
+        for t in &run.transfers {
+            if t.coflow >= n {
+                return Err(ValidationError::UnknownCoflow { coflow: t.coflow });
+            }
+            if pair_seen.insert((t.src, t.dst)) {
+                if src_used[t.src] {
+                    return Err(ValidationError::PortReused {
+                        run: ridx,
+                        port: t.src,
+                        ingress: true,
+                    });
+                }
+                if dst_used[t.dst] {
+                    return Err(ValidationError::PortReused {
+                        run: ridx,
+                        port: t.dst,
+                        ingress: false,
+                    });
+                }
+                src_used[t.src] = true;
+                dst_used[t.dst] = true;
+            }
+            let used = pair_used.entry((t.src, t.dst)).or_insert(0);
+            if *used + t.units > run.duration {
+                return Err(ValidationError::PairOverCapacity {
+                    run: ridx,
+                    src: t.src,
+                    dst: t.dst,
+                    units: *used + t.units,
+                    capacity: run.duration,
+                });
+            }
+            // Slots occupied by this transfer: run.start + used .. + units - 1.
+            let first_slot = run.start + *used;
+            if first_slot <= releases[t.coflow] {
+                return Err(ValidationError::ReleaseViolated {
+                    run: ridx,
+                    coflow: t.coflow,
+                    slot: first_slot,
+                    release: releases[t.coflow],
+                });
+            }
+            let last_slot = first_slot + t.units - 1;
+            *used += t.units;
+
+            let cell = &mut delivered[t.coflow][(t.src, t.dst)];
+            *cell += t.units;
+            if *cell > demands[t.coflow][(t.src, t.dst)] {
+                return Err(ValidationError::OverDelivery {
+                    coflow: t.coflow,
+                    src: t.src,
+                    dst: t.dst,
+                });
+            }
+            remaining_total[t.coflow] -= t.units;
+            // Pairs run in parallel within a run: a coflow completes at the
+            // latest last-slot over all of its transfers.
+            last_activity[t.coflow] = last_activity[t.coflow].max(last_slot);
+            if remaining_total[t.coflow] == 0 {
+                completion[t.coflow] = last_activity[t.coflow];
+            }
+        }
+    }
+
+    for (k, &rem) in remaining_total.iter().enumerate() {
+        if rem > 0 {
+            return Err(ValidationError::UnderDelivery {
+                coflow: k,
+                missing: rem,
+            });
+        }
+    }
+    Ok(completion)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Fabric;
+    use crate::trace::{Run, Transfer};
+
+    #[test]
+    fn fabric_trace_validates_and_times_agree() {
+        let d0 = IntMatrix::from_nested(&[[1, 2], [2, 1]]);
+        let demands = vec![d0];
+        let mut f = Fabric::new(2, &demands, &[0]);
+        f.apply_run(&[(0, 0, vec![0]), (1, 1, vec![0])], 1);
+        f.apply_run(&[(0, 1, vec![0]), (1, 0, vec![0])], 2);
+        let (trace, times) = f.finish();
+        let validated = validate_trace(&demands, &[0], &trace).expect("valid");
+        assert_eq!(validated, times);
+    }
+
+    #[test]
+    fn detects_port_reuse() {
+        let mut d = IntMatrix::zeros(2);
+        d[(0, 0)] = 1;
+        d[(0, 1)] = 1;
+        let mut trace = ScheduleTrace::new(2);
+        trace.push_run(Run {
+            start: 1,
+            duration: 1,
+            transfers: vec![
+                Transfer { src: 0, dst: 0, coflow: 0, units: 1 },
+                Transfer { src: 0, dst: 1, coflow: 0, units: 1 },
+            ],
+        });
+        let err = validate_trace(&[d], &[0], &trace).unwrap_err();
+        assert!(matches!(err, ValidationError::PortReused { ingress: true, .. }));
+    }
+
+    #[test]
+    fn detects_over_capacity() {
+        let mut d = IntMatrix::zeros(2);
+        d[(0, 1)] = 5;
+        let mut trace = ScheduleTrace::new(2);
+        trace.push_run(Run {
+            start: 1,
+            duration: 3,
+            transfers: vec![Transfer { src: 0, dst: 1, coflow: 0, units: 5 }],
+        });
+        let err = validate_trace(&[d], &[0], &trace).unwrap_err();
+        assert!(matches!(err, ValidationError::PairOverCapacity { .. }));
+    }
+
+    #[test]
+    fn detects_release_violation() {
+        let mut d = IntMatrix::zeros(2);
+        d[(0, 1)] = 1;
+        let mut trace = ScheduleTrace::new(2);
+        trace.push_run(Run {
+            start: 1,
+            duration: 1,
+            transfers: vec![Transfer { src: 0, dst: 1, coflow: 0, units: 1 }],
+        });
+        let err = validate_trace(&[d.clone()], &[5], &trace).unwrap_err();
+        assert!(matches!(err, ValidationError::ReleaseViolated { .. }));
+        // Released at 0: slot 1 is fine.
+        assert!(validate_trace(&[d], &[0], &trace).is_ok());
+    }
+
+    #[test]
+    fn detects_under_and_over_delivery() {
+        let mut d = IntMatrix::zeros(2);
+        d[(0, 1)] = 2;
+        let empty = ScheduleTrace::new(2);
+        let err = validate_trace(&[d.clone()], &[0], &empty).unwrap_err();
+        assert!(matches!(err, ValidationError::UnderDelivery { missing: 2, .. }));
+
+        let mut trace = ScheduleTrace::new(2);
+        trace.push_run(Run {
+            start: 1,
+            duration: 3,
+            transfers: vec![Transfer { src: 0, dst: 1, coflow: 0, units: 3 }],
+        });
+        let err = validate_trace(&[d], &[0], &trace).unwrap_err();
+        assert!(matches!(err, ValidationError::OverDelivery { .. }));
+    }
+
+    #[test]
+    fn mid_run_release_offsets_allowed() {
+        // Run starts at slot 1 but coflow 1's units begin at offset 2
+        // (slot 3), which is legal with release date 2.
+        let mut d0 = IntMatrix::zeros(2);
+        d0[(0, 1)] = 2;
+        let mut d1 = IntMatrix::zeros(2);
+        d1[(0, 1)] = 1;
+        let mut trace = ScheduleTrace::new(2);
+        trace.push_run(Run {
+            start: 1,
+            duration: 3,
+            transfers: vec![
+                Transfer { src: 0, dst: 1, coflow: 0, units: 2 },
+                Transfer { src: 0, dst: 1, coflow: 1, units: 1 },
+            ],
+        });
+        let times = validate_trace(&[d0, d1], &[0, 2], &trace).expect("valid");
+        assert_eq!(times, vec![2, 3]);
+    }
+}

@@ -1,0 +1,79 @@
+//! The Appendix A reduction between diagonal coflows and concurrent open
+//! shop, in both directions.
+
+use crate::{Job, OpenShopInstance};
+use coflow::{Coflow, Instance};
+use coflow_matching::IntMatrix;
+
+/// Embeds a concurrent open shop instance as a coflow instance with
+/// diagonal demand matrices (machine `i` ↦ port pair `(i, i)`).
+pub fn open_shop_to_coflow(shop: &OpenShopInstance) -> Instance {
+    let m = shop.machines();
+    let coflows = shop
+        .jobs()
+        .iter()
+        .map(|j| {
+            Coflow::new(j.id, IntMatrix::diagonal(&j.processing))
+                .with_release(j.release)
+                .with_weight(j.weight)
+        })
+        .collect();
+    Instance::new(m, coflows)
+}
+
+/// Projects a coflow instance with diagonal matrices back to concurrent
+/// open shop. Panics if any off-diagonal demand exists.
+pub fn coflow_to_open_shop(instance: &Instance) -> OpenShopInstance {
+    let m = instance.ports();
+    let jobs = instance
+        .coflows()
+        .iter()
+        .map(|c| {
+            for (i, j, _) in c.demand.nonzero_entries() {
+                assert_eq!(
+                    i, j,
+                    "coflow {} has off-diagonal demand; not an open shop instance",
+                    c.id
+                );
+            }
+            let processing = (0..m).map(|i| c.demand[(i, i)]).collect();
+            Job {
+                id: c.id,
+                processing,
+                release: c.release,
+                weight: c.weight,
+            }
+        })
+        .collect();
+    OpenShopInstance::new(m, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let shop = OpenShopInstance::new(
+            3,
+            vec![
+                Job::new(0, vec![1, 2, 3]).with_weight(2.0),
+                Job::new(1, vec![4, 0, 1]).with_release(5),
+            ],
+        );
+        let inst = open_shop_to_coflow(&shop);
+        assert_eq!(inst.ports(), 3);
+        assert_eq!(inst.coflow(0).demand[(2, 2)], 3);
+        assert_eq!(inst.coflow(1).release, 5);
+        let back = coflow_to_open_shop(&inst);
+        assert_eq!(back.jobs(), shop.jobs());
+    }
+
+    #[test]
+    #[should_panic(expected = "off-diagonal")]
+    fn off_diagonal_rejected() {
+        let c = Coflow::new(0, IntMatrix::from_nested(&[[0, 1], [0, 0]]));
+        let inst = Instance::new(2, vec![c]);
+        let _ = coflow_to_open_shop(&inst);
+    }
+}

@@ -1,0 +1,119 @@
+//! The §4.1 trace filters and weight assignments.
+
+use coflow::{Coflow, Instance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Keeps only coflows whose width (`M0`, number of nonzero flows) is at
+/// least `min_width` — the paper's `M0 ≥ 50 / 40 / 30` filters, motivated by
+/// per-coflow scheduling overhead on sparse coflows.
+pub fn filter_by_width(instance: &Instance, min_width: usize) -> Instance {
+    let coflows: Vec<Coflow> = instance
+        .coflows()
+        .iter()
+        .filter(|c| c.width() >= min_width)
+        .cloned()
+        .collect();
+    Instance::new(instance.ports(), coflows)
+}
+
+/// Weight assignment schemes used in §4.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WeightScheme {
+    /// All weights 1.
+    Equal,
+    /// Weights are a uniformly random permutation of `{1, 2, …, n}`.
+    RandomPermutation {
+        /// Seed for the permutation.
+        seed: u64,
+    },
+}
+
+impl WeightScheme {
+    /// Display name for experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WeightScheme::Equal => "equal",
+            WeightScheme::RandomPermutation { .. } => "random",
+        }
+    }
+}
+
+/// Returns a copy of `instance` with weights assigned per `scheme`.
+pub fn assign_weights(instance: &Instance, scheme: WeightScheme) -> Instance {
+    let n = instance.len();
+    let weights: Vec<f64> = match scheme {
+        WeightScheme::Equal => vec![1.0; n],
+        WeightScheme::RandomPermutation { seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut perm: Vec<usize> = (1..=n).collect();
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                perm.swap(i, j);
+            }
+            perm.into_iter().map(|w| w as f64).collect()
+        }
+    };
+    let coflows = instance
+        .coflows()
+        .iter()
+        .zip(weights)
+        .map(|(c, w)| c.clone().with_weight(w))
+        .collect();
+    Instance::new(instance.ports(), coflows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coflow_matching::IntMatrix;
+
+    fn instance_with_widths(widths: &[usize]) -> Instance {
+        let m = 10;
+        let coflows = widths
+            .iter()
+            .enumerate()
+            .map(|(id, &w)| {
+                let mut d = IntMatrix::zeros(m);
+                for f in 0..w {
+                    d[(f / m, f % m)] = 1;
+                }
+                Coflow::new(id, d)
+            })
+            .collect();
+        Instance::new(m, coflows)
+    }
+
+    #[test]
+    fn width_filter_keeps_wide_coflows() {
+        let inst = instance_with_widths(&[3, 10, 50, 7]);
+        let filtered = filter_by_width(&inst, 10);
+        assert_eq!(filtered.len(), 2);
+        assert_eq!(filtered.coflow(0).id, 1);
+        assert_eq!(filtered.coflow(1).id, 2);
+    }
+
+    #[test]
+    fn equal_weights_are_unit() {
+        let inst = instance_with_widths(&[3, 5]);
+        let w = assign_weights(&inst, WeightScheme::Equal);
+        assert!(w.coflows().iter().all(|c| c.weight == 1.0));
+    }
+
+    #[test]
+    fn random_weights_are_a_permutation_of_one_to_n() {
+        let inst = instance_with_widths(&[1, 2, 3, 4, 5]);
+        let w = assign_weights(&inst, WeightScheme::RandomPermutation { seed: 5 });
+        let mut weights: Vec<u64> = w.coflows().iter().map(|c| c.weight as u64).collect();
+        weights.sort_unstable();
+        assert_eq!(weights, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn random_weights_deterministic_per_seed() {
+        let inst = instance_with_widths(&[1, 2, 3, 4]);
+        let a = assign_weights(&inst, WeightScheme::RandomPermutation { seed: 9 });
+        let b = assign_weights(&inst, WeightScheme::RandomPermutation { seed: 9 });
+        assert_eq!(a.weights(), b.weights());
+    }
+}

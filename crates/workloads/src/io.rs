@@ -1,0 +1,138 @@
+//! Trace serialization: JSON (via serde) and a simple CSV flow listing.
+//!
+//! The CSV format is one flow per line — `coflow_id,src,dst,mb,release,
+//! weight` — the shape cluster traces are usually published in, so real
+//! traces can be dropped in without code changes.
+
+use coflow::{Coflow, CoflowRecord, Instance};
+use coflow_matching::IntMatrix;
+use std::collections::BTreeMap;
+
+/// Accumulator for one coflow while parsing CSV: `(flows, release, weight)`.
+type CsvCoflow = (Vec<(usize, usize, u64)>, u64, f64);
+
+/// Serializes an instance to pretty JSON.
+pub fn to_json(instance: &Instance) -> String {
+    let records: Vec<CoflowRecord> = instance.coflows().iter().map(CoflowRecord::from).collect();
+    serde_json::to_string_pretty(&(instance.ports(), records)).expect("serialization cannot fail")
+}
+
+/// Parses an instance from [`to_json`] output.
+pub fn from_json(s: &str) -> Result<Instance, String> {
+    let (ports, records): (usize, Vec<CoflowRecord>) =
+        serde_json::from_str(s).map_err(|e| e.to_string())?;
+    let coflows: Vec<Coflow> = records.iter().map(Coflow::from).collect();
+    Ok(Instance::new(ports, coflows))
+}
+
+/// Serializes an instance to CSV (`coflow_id,src,dst,mb,release,weight`,
+/// header included).
+pub fn to_csv(instance: &Instance) -> String {
+    let mut out = String::from("coflow_id,src,dst,mb,release,weight\n");
+    for c in instance.coflows() {
+        for (i, j, d) in c.demand.nonzero_entries() {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                c.id, i, j, d, c.release, c.weight
+            ));
+        }
+    }
+    out
+}
+
+/// Parses an instance from CSV produced by [`to_csv`] (or any file in the
+/// same format). `ports` must be at least one larger than the largest port
+/// index referenced.
+pub fn from_csv(ports: usize, s: &str) -> Result<Instance, String> {
+    // coflow id -> (flows, release, weight)
+    let mut map: BTreeMap<usize, CsvCoflow> = BTreeMap::new();
+    for (lineno, line) in s.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || (lineno == 0 && line.starts_with("coflow_id")) {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 6 {
+            return Err(format!("line {}: expected 6 fields", lineno + 1));
+        }
+        let parse_usize = |f: &str, what: &str| {
+            f.parse::<usize>()
+                .map_err(|_| format!("line {}: bad {}", lineno + 1, what))
+        };
+        let id = parse_usize(fields[0], "coflow_id")?;
+        let src = parse_usize(fields[1], "src")?;
+        let dst = parse_usize(fields[2], "dst")?;
+        let mb = fields[3]
+            .parse::<u64>()
+            .map_err(|_| format!("line {}: bad mb", lineno + 1))?;
+        let release = fields[4]
+            .parse::<u64>()
+            .map_err(|_| format!("line {}: bad release", lineno + 1))?;
+        let weight = fields[5]
+            .parse::<f64>()
+            .map_err(|_| format!("line {}: bad weight", lineno + 1))?;
+        if src >= ports || dst >= ports {
+            return Err(format!("line {}: port out of range", lineno + 1));
+        }
+        let entry = map.entry(id).or_insert_with(|| (Vec::new(), release, weight));
+        entry.0.push((src, dst, mb));
+        entry.1 = release;
+        entry.2 = weight;
+    }
+    let coflows = map
+        .into_iter()
+        .map(|(id, (flows, release, weight))| {
+            let mut demand = IntMatrix::zeros(ports);
+            for (i, j, d) in flows {
+                demand[(i, j)] += d;
+            }
+            Coflow::new(id, demand)
+                .with_release(release)
+                .with_weight(weight)
+        })
+        .collect();
+    Ok(Instance::new(ports, coflows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facebook::{generate_trace, TraceConfig};
+
+    #[test]
+    fn json_round_trip() {
+        let inst = generate_trace(&TraceConfig::small(5));
+        let json = to_json(&inst);
+        let back = from_json(&json).expect("parse");
+        assert_eq!(back.len(), inst.len());
+        for (a, b) in inst.coflows().iter().zip(back.coflows()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let inst = generate_trace(&TraceConfig::small(6));
+        let csv = to_csv(&inst);
+        let back = from_csv(inst.ports(), &csv).expect("parse");
+        assert_eq!(back.len(), inst.len());
+        for (a, b) in inst.coflows().iter().zip(back.coflows()) {
+            assert_eq!(a.demand, b.demand);
+            assert_eq!(a.release, b.release);
+        }
+    }
+
+    #[test]
+    fn csv_rejects_bad_lines() {
+        assert!(from_csv(4, "coflow_id,src,dst,mb,release,weight\n1,2\n").is_err());
+        assert!(from_csv(4, "0,9,0,5,0,1.0\n").is_err()); // port out of range
+        assert!(from_csv(4, "0,1,0,xyz,0,1.0\n").is_err());
+    }
+
+    #[test]
+    fn csv_accumulates_duplicate_pairs() {
+        let csv = "0,1,2,5,0,1.0\n0,1,2,3,0,1.0\n";
+        let inst = from_csv(4, csv).expect("parse");
+        assert_eq!(inst.coflow(0).demand[(1, 2)], 8);
+    }
+}

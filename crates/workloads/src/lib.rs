@@ -1,0 +1,24 @@
+//! Workload generation for the coflow-scheduling experiments.
+//!
+//! The paper's evaluation uses a proprietary Facebook Hive/MapReduce trace
+//! (150 racks, 1 MB-per-slot ports). This crate substitutes a calibrated
+//! synthetic generator ([`facebook`]) plus the §4.1 filters and weight
+//! schemes ([`filters`]), simple random families for tests and ablations
+//! ([`synthetic`]), sampling primitives built on bare `rand`
+//! ([`distributions`]), and JSON/CSV trace I/O ([`io`]) so real traces can
+//! be substituted when available.
+
+pub mod distributions;
+pub mod facebook;
+pub mod filters;
+pub mod io;
+pub mod stats;
+pub mod synthetic;
+
+pub use facebook::{generate_trace, TraceConfig, FACEBOOK_RACKS};
+pub use filters::{assign_weights, filter_by_width, WeightScheme};
+pub use stats::{render_stats, trace_stats, TraceStats};
+pub use synthetic::{
+    appendix_b_instance, random_diagonal_instance, random_instance,
+    random_instance_with_releases,
+};

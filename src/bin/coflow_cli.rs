@@ -1,0 +1,206 @@
+//! `coflow-cli` — schedule a coflow trace from a file.
+//!
+//! ```text
+//! coflow-cli <trace.{json,csv}> [--ports N] [--order H_A|H_rho|H_LP|H_size]
+//!            [--no-group] [--no-backfill] [--rematch] [--online]
+//!            [--analyze] [--emit-json]
+//! coflow-cli --generate <n> [--ports N] [--seed S]   # print a trace as CSV
+//! ```
+//!
+//! CSV format: `coflow_id,src,dst,mb,release,weight` (header optional).
+//! Exit code 0 on success; the schedule is validated end-to-end before any
+//! output is printed.
+
+use coflow::analysis::analyze;
+use coflow::ordering::OrderRule;
+use coflow::sched::online::run_online;
+use coflow::sched::{run_with_order_ext, ScheduleOutcome};
+use coflow::{compute_order, verify_outcome, Instance};
+use coflow_workloads::{generate_trace, io, TraceConfig};
+use std::process::exit;
+
+struct Args {
+    trace_path: Option<String>,
+    ports: Option<usize>,
+    order: OrderRule,
+    grouping: bool,
+    backfill: bool,
+    rematch: bool,
+    online: bool,
+    do_analyze: bool,
+    emit_json: bool,
+    generate: Option<usize>,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: coflow-cli <trace.json|trace.csv> [--ports N] \
+         [--order H_A|H_rho|H_LP|H_size] [--no-group] [--no-backfill] \
+         [--rematch] [--online] [--analyze] [--emit-json]\n\
+         \x20      coflow-cli --generate <n> [--ports N] [--seed S]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        trace_path: None,
+        ports: None,
+        order: OrderRule::LpBased,
+        grouping: true,
+        backfill: true,
+        rematch: false,
+        online: false,
+        do_analyze: false,
+        emit_json: false,
+        generate: None,
+        seed: 2015,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--ports" => {
+                i += 1;
+                args.ports = Some(argv.get(i).unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage()));
+            }
+            "--order" => {
+                i += 1;
+                args.order = match argv.get(i).map(String::as_str) {
+                    Some("H_A") => OrderRule::Arrival,
+                    Some("H_rho") => OrderRule::LoadOverWeight,
+                    Some("H_LP") => OrderRule::LpBased,
+                    Some("H_size") => OrderRule::SizeOverWeight,
+                    _ => usage(),
+                };
+            }
+            "--no-group" => args.grouping = false,
+            "--no-backfill" => args.backfill = false,
+            "--rematch" => args.rematch = true,
+            "--online" => args.online = true,
+            "--analyze" => args.do_analyze = true,
+            "--emit-json" => args.emit_json = true,
+            "--generate" => {
+                i += 1;
+                args.generate = Some(argv.get(i).unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage()));
+            }
+            "--seed" => {
+                i += 1;
+                args.seed = argv.get(i).unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage());
+            }
+            path if !path.starts_with('-') && args.trace_path.is_none() => {
+                args.trace_path = Some(path.to_string());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn load_instance(path: &str, ports: Option<usize>) -> Instance {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {}", path, e);
+        exit(1)
+    });
+    let result = if path.ends_with(".json") {
+        io::from_json(&text)
+    } else {
+        let ports = ports.unwrap_or_else(|| {
+            // Infer from the data: max referenced port + 1.
+            text.lines()
+                .skip(1)
+                .filter_map(|l| {
+                    let f: Vec<&str> = l.split(',').collect();
+                    let s = f.get(1)?.trim().parse::<usize>().ok()?;
+                    let d = f.get(2)?.trim().parse::<usize>().ok()?;
+                    Some(s.max(d))
+                })
+                .max()
+                .map(|p| p + 1)
+                .unwrap_or(1)
+        });
+        io::from_csv(ports, &text)
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("cannot parse {}: {}", path, e);
+        exit(1)
+    })
+}
+
+fn main() {
+    let args = parse_args();
+
+    if let Some(n) = args.generate {
+        let cfg = TraceConfig {
+            ports: args.ports.unwrap_or(40),
+            num_coflows: n,
+            seed: args.seed,
+            ..TraceConfig::default()
+        };
+        print!("{}", io::to_csv(&generate_trace(&cfg)));
+        return;
+    }
+
+    let Some(path) = args.trace_path.as_deref() else {
+        usage();
+    };
+    let instance = load_instance(path, args.ports);
+    eprintln!(
+        "loaded {} coflows on a {}x{} fabric",
+        instance.len(),
+        instance.ports(),
+        instance.ports()
+    );
+
+    let outcome: ScheduleOutcome = if args.online {
+        run_online(&instance)
+    } else {
+        let order = compute_order(&instance, args.order);
+        run_with_order_ext(&instance, order, args.grouping, args.backfill, args.rematch)
+    };
+    if let Err(e) = verify_outcome(&instance, &outcome) {
+        eprintln!("internal error: schedule failed verification: {}", e);
+        exit(1);
+    }
+
+    if args.emit_json {
+        let report: Vec<_> = instance
+            .coflows()
+            .iter()
+            .zip(&outcome.completions)
+            .map(|(c, &t)| (c.id, t))
+            .collect();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&(
+                outcome.objective,
+                outcome.makespan(),
+                report
+            ))
+            .expect("serialize")
+        );
+    } else {
+        println!("total weighted completion time: {:.1}", outcome.objective);
+        println!("makespan: {} slots", outcome.makespan());
+        println!("coflow_id,completion_slot");
+        for (c, &t) in instance.coflows().iter().zip(&outcome.completions) {
+            println!("{},{}", c.id, t);
+        }
+    }
+
+    if args.do_analyze {
+        let a = analyze(&instance, &outcome);
+        eprintln!(
+            "mean slowdown {:.2} (weighted {:.2}), worst {:.2} on coflow {}, \
+             utilization {:.2}, idle pair-slots {}",
+            a.mean_slowdown,
+            a.weighted_mean_slowdown,
+            a.max_slowdown.0,
+            a.max_slowdown.1,
+            a.fabric_utilization,
+            a.idle_pair_slots
+        );
+    }
+}
