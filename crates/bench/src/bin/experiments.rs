@@ -9,9 +9,11 @@
 //! because (LP-EXP) is exponential in the horizon; `ratios` measures true
 //! approximation ratios on tiny instances via the exact solver.
 
+use coflow_bench::faults::{render_faults, run_faults};
 use coflow_bench::figures::{run_fig2a, run_fig2b};
 use coflow_bench::lowerbound::run_lowerbound;
 use coflow_bench::paper_scale_config;
+use coflow_lp::SimplexOptions;
 use coflow_bench::ratios::run_ratios;
 use coflow_bench::report::{
     render_fig2a, render_fig2b, render_lowerbound, render_ratios, render_table1_block,
@@ -26,11 +28,17 @@ fn main() {
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--seed" => {
-                seed = iter
-                    .next()
-                    .expect("--seed needs a value")
-                    .parse()
-                    .expect("--seed must be an integer");
+                let Some(value) = iter.next() else {
+                    eprintln!("error: --seed needs a value");
+                    std::process::exit(2);
+                };
+                seed = match value.parse() {
+                    Ok(s) => s,
+                    Err(_) => {
+                        eprintln!("error: --seed must be an integer, got '{}'", value);
+                        std::process::exit(2);
+                    }
+                };
             }
             other => which = other.to_string(),
         }
@@ -45,6 +53,7 @@ fn main() {
         "gridsweep" => gridsweep(seed),
         "integrality" => integrality(seed),
         "arrivals" => arrivals(seed),
+        "faults" => faults(seed),
         "all" => {
             table1(seed);
             fig2a(seed);
@@ -54,10 +63,11 @@ fn main() {
             gridsweep(seed);
             integrality(seed);
             arrivals(seed);
+            faults(seed);
         }
         other => {
             eprintln!(
-                "unknown experiment '{}'; expected table1|fig2a|fig2b|lpexp|ratios|gridsweep|integrality|arrivals|all",
+                "unknown experiment '{}'; expected table1|fig2a|fig2b|lpexp|ratios|gridsweep|integrality|arrivals|faults|all",
                 other
             );
             std::process::exit(2);
@@ -179,6 +189,37 @@ fn integrality(seed: u64) {
     );
     let report = coflow_bench::integrality::run_integrality(&inst);
     println!("{}", coflow_bench::integrality::render_integrality(&report));
+}
+
+fn faults(seed: u64) {
+    // Full 150-port fabric (the paper's cluster size): presolve keeps the
+    // interval LP tractable, and the solver budgets below turn any
+    // numerical trouble into recorded fallback-tier degradation instead of
+    // a panic.
+    let cfg = TraceConfig {
+        ports: 150,
+        num_coflows: 100,
+        seed,
+        flow_size_mu: 1.9,
+        flow_size_sigma: 1.1,
+        max_flow_size: 512,
+        coflow_scale_sigma: 1.8,
+        fanout_alpha: 0.7,
+        ..TraceConfig::default()
+    };
+    trace_banner(&cfg);
+    let inst = assign_weights(
+        &generate_trace(&cfg),
+        WeightScheme::RandomPermutation { seed },
+    );
+    let lp_opts = SimplexOptions {
+        max_iterations: 200_000,
+        time_limit_ms: Some(30_000),
+        stall_window: Some(20_000),
+        ..SimplexOptions::default()
+    };
+    let report = run_faults(&inst, &[0.0, 0.02, 0.05, 0.1, 0.2], seed, &lp_opts);
+    print!("{}", render_faults(&report));
 }
 
 fn arrivals(seed: u64) {

@@ -1,0 +1,196 @@
+//! Fault-injection experiment: TWCT inflation vs fault rate.
+//!
+//! Runs the fault-tolerant pipeline (`H_LP`, case (d): grouping +
+//! backfilling) against seeded [`FaultPlan`]s of increasing intensity and
+//! reports, per rate: how often planning degraded below `H_LP` and by how
+//! much the total weighted completion time inflated over the fault-free
+//! schedule. The objective comparison is restricted to the coflows that
+//! survive (are not cancelled by) each plan, so cancellations do not
+//! masquerade as speedups.
+
+use coflow::sched::recovery::{run_with_faults_strict, verify_faulty_outcome};
+use coflow::sched::resilient::{fallback_chain, run_resilient};
+use coflow::{AlgorithmSpec, Instance, OrderRule};
+use coflow_lp::SimplexOptions;
+use coflow_netsim::FaultPlan;
+
+/// One fault-rate measurement.
+#[derive(Clone, Debug)]
+pub struct FaultCell {
+    /// Fault rate fed to [`FaultPlan::generate`].
+    pub rate: f64,
+    /// Injected events at this rate.
+    pub events: usize,
+    /// Coflows cancelled by the plan before completing.
+    pub cancelled: usize,
+    /// Planning epochs (1 = never replanned).
+    pub replans: usize,
+    /// Planned units stranded by outages/degradations.
+    pub blocked_units: u64,
+    /// Epoch count per fallback tier: `[H_LP, H_ρ, H_A]` for the grid's
+    /// LP-backed chain.
+    pub tier_counts: Vec<usize>,
+    /// `Σ w_k C_k` over surviving coflows, under faults.
+    pub objective: f64,
+    /// `Σ w_k C_k` over the *same* surviving coflows, fault-free.
+    pub baseline_objective: f64,
+    /// `objective / baseline_objective` (1.0 when faults cost nothing).
+    pub inflation: f64,
+}
+
+/// The full experiment: one cell per fault rate.
+#[derive(Clone, Debug)]
+pub struct FaultReport {
+    /// The algorithm under test.
+    pub spec: AlgorithmSpec,
+    /// Plan seed.
+    pub seed: u64,
+    /// Fault-free TWCT over all coflows (the reference point).
+    pub fault_free_objective: f64,
+    /// Per-rate results.
+    pub cells: Vec<FaultCell>,
+}
+
+/// Runs the fault sweep on `instance` with `H_LP` case (d) under
+/// `lp_opts`. `rates` are fault probabilities per port/coflow (see
+/// [`FaultPlan::generate`]); each rate gets its own deterministic plan
+/// derived from `seed`.
+pub fn run_faults(
+    instance: &Instance,
+    rates: &[f64],
+    seed: u64,
+    lp_opts: &SimplexOptions,
+) -> FaultReport {
+    let spec = AlgorithmSpec {
+        order: OrderRule::LpBased,
+        grouping: true,
+        backfill: true,
+    };
+    let chain_len = fallback_chain(spec.order).len();
+
+    // Fault-free reference run (same solver budgets, so inflation measures
+    // the faults, not the budget).
+    let baseline = run_resilient(instance, &spec, lp_opts);
+    let horizon = baseline.outcome.makespan().max(1);
+    let fault_free_objective = baseline.outcome.objective;
+
+    let cells = rates
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| {
+            let plan = FaultPlan::generate(
+                instance.ports(),
+                instance.len(),
+                horizon,
+                rate,
+                seed.wrapping_add(i as u64),
+            );
+            let out = run_with_faults_strict(instance, &spec, lp_opts, &plan);
+            if let Err(e) = verify_faulty_outcome(instance, &plan, &out) {
+                panic!("rate {}: invalid fault-tolerant schedule: {}", rate, e);
+            }
+            let mut tier_counts = vec![0usize; chain_len];
+            for &t in &out.tiers {
+                tier_counts[t] += 1;
+            }
+            let cancelled = out.completions.iter().filter(|c| c.is_none()).count();
+            // Baseline objective over the surviving set only.
+            let baseline_objective: f64 = out
+                .completions
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.is_some())
+                .map(|(k, _)| {
+                    instance.coflow(k).weight * baseline.outcome.completions[k] as f64
+                })
+                .sum();
+            let inflation = if baseline_objective > 0.0 {
+                out.objective / baseline_objective
+            } else {
+                1.0
+            };
+            FaultCell {
+                rate,
+                events: plan.events.len(),
+                cancelled,
+                replans: out.replans,
+                blocked_units: out.blocked_units,
+                tier_counts,
+                objective: out.objective,
+                baseline_objective,
+                inflation,
+            }
+        })
+        .collect();
+
+    FaultReport {
+        spec,
+        seed,
+        fault_free_objective,
+        cells,
+    }
+}
+
+/// Renders the sweep as a plain-text table.
+pub fn render_faults(report: &FaultReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "== Fault injection: TWCT inflation vs fault rate (H_LP case (d), seed {}) ==\n",
+        report.seed
+    ));
+    s.push_str(&format!(
+        "fault-free TWCT = {:.0}\n",
+        report.fault_free_objective
+    ));
+    s.push_str(
+        "rate   events cancelled replans blocked  tiers(LP/rho/A)  TWCT       baseline   inflation\n",
+    );
+    for c in &report.cells {
+        let tiers = c
+            .tier_counts
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join("/");
+        s.push_str(&format!(
+            "{:<6.2} {:<6} {:<9} {:<7} {:<8} {:<16} {:<10.0} {:<10.0} {:.3}\n",
+            c.rate,
+            c.events,
+            c.cancelled,
+            c.replans,
+            c.blocked_units,
+            tiers,
+            c.objective,
+            c.baseline_objective,
+            c.inflation
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coflow_workloads::{generate_trace, TraceConfig};
+
+    #[test]
+    fn fault_sweep_runs_and_inflation_is_sane() {
+        let inst = generate_trace(&TraceConfig::small(6));
+        let report = run_faults(&inst, &[0.0, 0.4], 7, &SimplexOptions::default());
+        assert_eq!(report.cells.len(), 2);
+        let quiet = &report.cells[0];
+        assert_eq!(quiet.events, 0);
+        assert_eq!(quiet.replans, 1);
+        assert!((quiet.inflation - 1.0).abs() < 1e-9, "rate 0 must not inflate");
+        for c in &report.cells {
+            if c.cancelled == 0 {
+                // Without cancellations (which free capacity for the
+                // survivors), faults can only delay completions.
+                assert!(c.inflation >= 1.0 - 1e-9, "faults cannot speed things up");
+            }
+            assert_eq!(c.tier_counts.iter().sum::<usize>(), c.replans);
+        }
+        let rendered = render_faults(&report);
+        assert!(rendered.contains("inflation"));
+    }
+}

@@ -87,9 +87,11 @@ mod tests {
             WeightScheme::RandomPermutation { seed: 17 },
         );
         let r = run_integrality(&inst);
-        // Fluid ignores matching coupling entirely, so it can be beaten by
-        // no schedule on any prefix; greedy should still be close.
-        assert!(r.greedy_over_fluid >= 0.99, "{}", r.greedy_over_fluid);
+        // Fluid strict priority is not a lower bound over out-of-order
+        // completions: work-conserving greedy can finish light coflows
+        // ahead of their fluid completion, so the ratio may dip slightly
+        // below 1. It should still be near 1 on both sides.
+        assert!(r.greedy_over_fluid >= 0.95, "{}", r.greedy_over_fluid);
         assert!(
             r.greedy_over_fluid < 2.0,
             "integral greedy should be within 2x of fluid: {}",

@@ -12,6 +12,7 @@
 //! * [`report`] — plain-text table rendering.
 
 pub mod arrivals;
+pub mod faults;
 pub mod figures;
 pub mod grid;
 pub mod gridsweep;

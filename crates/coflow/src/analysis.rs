@@ -46,7 +46,7 @@ pub fn analyze(instance: &Instance, outcome: &ScheduleOutcome) -> ScheduleAnalys
     let (max_idx, &max_val) = slowdowns
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .unwrap_or((0, &1.0));
     let wsum: f64 = instance.coflows().iter().map(|c| c.weight).sum();
     let wmean = instance

@@ -6,7 +6,6 @@
 //! positive weight `w_k`.
 
 use coflow_matching::IntMatrix;
-use serde::{Deserialize, Serialize};
 
 /// A single coflow: demand matrix, release date, weight, and a stable id.
 #[derive(Clone, Debug, PartialEq)]
@@ -73,7 +72,7 @@ impl Coflow {
 
 /// Serialization-friendly mirror of [`Coflow`] with a sparse demand listing.
 /// Used by the workloads crate for trace I/O.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CoflowRecord {
     /// Stable identifier.
     pub id: usize,

@@ -61,7 +61,7 @@ pub fn group_by_grid(instance: &Instance, order: &[usize], grid: &GeometricGrid)
                     current_interval = interval;
                 }
             }
-            groups.last_mut().unwrap().push(k);
+            push_to_last(&mut groups, k);
             continue;
         }
         let interval = grid.interval_of(vk as f64);
@@ -70,13 +70,22 @@ pub fn group_by_grid(instance: &Instance, order: &[usize], grid: &GeometricGrid)
             caps.push(grid.point(interval));
             current_interval = interval;
         }
-        groups.last_mut().unwrap().push(k);
+        push_to_last(&mut groups, k);
     }
     Groups {
         groups,
         group_caps: caps,
         cumulative_loads: v,
     }
+}
+
+/// Appends `k` to the most recently opened group. Both call sites run only
+/// after a group has been pushed, so the list is never empty here.
+fn push_to_last(groups: &mut [Vec<usize>], k: usize) {
+    groups
+        .last_mut()
+        .unwrap_or_else(|| unreachable!("a group is always opened before a coflow is placed"))
+        .push(k);
 }
 
 #[cfg(test)]

@@ -25,8 +25,8 @@ impl GeometricGrid {
     pub fn doubling(t_max: u64) -> Self {
         let t_max = t_max.max(1);
         let mut points = vec![0.0, 1.0];
-        while *points.last().unwrap() < t_max as f64 {
-            let next = points.last().unwrap() * 2.0;
+        while points[points.len() - 1] < t_max as f64 {
+            let next = points[points.len() - 1] * 2.0;
             points.push(next);
         }
         GeometricGrid { points }
@@ -41,8 +41,8 @@ impl GeometricGrid {
         assert!(t0 > 0.0, "grid offset must be positive");
         let t_max = t_max.max(1);
         let mut points = vec![0.0, t0];
-        while *points.last().unwrap() < t_max as f64 {
-            let next = points.last().unwrap() * a;
+        while points[points.len() - 1] < t_max as f64 {
+            let next = points[points.len() - 1] * a;
             points.push(next);
         }
         GeometricGrid { points }
@@ -73,7 +73,7 @@ impl GeometricGrid {
             .points
             .iter()
             .position(|&p| v <= p)
-            .unwrap_or_else(|| panic!("value {} beyond grid horizon {}", v, self.points.last().unwrap()));
+            .unwrap_or_else(|| panic!("value {} beyond grid horizon {}", v, self.points[self.points.len() - 1]));
         debug_assert!(l >= 1);
         l
     }

@@ -32,9 +32,13 @@
 //! assert_eq!(outcome.completions, vec![3]);
 //! ```
 
+// Library code must justify every panic: unwraps/expects surface as clippy
+// warnings (tests and benches are exempt via the cfg gate).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod analysis;
 pub mod bounds;
 pub mod coflow;
+pub mod error;
 pub mod grouping;
 pub mod instance;
 pub mod intervals;
@@ -45,12 +49,20 @@ pub mod verify;
 
 pub use crate::analysis::{analyze, serialization_overhead, ScheduleAnalysis};
 pub use crate::coflow::{Coflow, CoflowRecord};
+pub use crate::error::SchedError;
 pub use crate::grouping::{group_by_doubling, group_by_grid, Groups};
 pub use crate::instance::Instance;
 pub use crate::intervals::GeometricGrid;
-pub use crate::ordering::{compute_order, OrderRule};
+pub use crate::ordering::{compute_order, try_compute_order, try_compute_order_with, OrderRule};
 pub use crate::relax::{
-    solve_interval_lp, solve_time_indexed_lp, solve_with_grid, LpExpRelaxation, LpRelaxation,
+    solve_interval_lp, solve_time_indexed_lp, solve_with_grid, try_solve_interval_lp,
+    try_solve_interval_lp_with, LpExpRelaxation, LpRelaxation,
+};
+pub use crate::sched::recovery::{
+    run_with_faults, run_with_faults_strict, verify_faulty_outcome, FaultyOutcome,
+};
+pub use crate::sched::resilient::{
+    fallback_chain, run_resilient, run_resilient_chain, ResilientOutcome,
 };
 pub use crate::sched::{
     run, run_randomized, run_with_order, run_with_order_ext, run_with_order_grid,

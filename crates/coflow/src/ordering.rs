@@ -6,8 +6,10 @@
 //! `H_LP` (the LP-based order (15)) — plus a total-size variant as an
 //! ablation.
 
+use crate::error::SchedError;
 use crate::instance::Instance;
-use crate::relax::solve_interval_lp;
+use crate::relax::{solve_interval_lp, try_solve_interval_lp_with};
+use coflow_lp::SimplexOptions;
 
 /// An ordering heuristic for the ordering stage.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -69,7 +71,7 @@ pub fn compute_order(instance: &Instance, rule: OrderRule) -> Vec<usize> {
                     c.load() as f64 / c.weight
                 })
                 .collect();
-            order.sort_by(|&a, &b| key[a].partial_cmp(&key[b]).unwrap().then(a.cmp(&b)));
+            order.sort_by(|&a, &b| key[a].total_cmp(&key[b]).then(a.cmp(&b)));
         }
         OrderRule::SizeOverWeight => {
             let key: Vec<f64> = (0..n)
@@ -78,7 +80,7 @@ pub fn compute_order(instance: &Instance, rule: OrderRule) -> Vec<usize> {
                     c.total_units() as f64 / c.weight
                 })
                 .collect();
-            order.sort_by(|&a, &b| key[a].partial_cmp(&key[b]).unwrap().then(a.cmp(&b)));
+            order.sort_by(|&a, &b| key[a].total_cmp(&key[b]).then(a.cmp(&b)));
         }
         OrderRule::LpBased => {
             return solve_interval_lp(instance).order;
@@ -88,6 +90,33 @@ pub fn compute_order(instance: &Instance, rule: OrderRule) -> Vec<usize> {
         }
     }
     order
+}
+
+/// Fallible variant of [`compute_order`]: [`OrderRule::LpBased`] surfaces
+/// LP solver failures as [`SchedError::Lp`] instead of panicking; every
+/// heuristic rule is infallible.
+pub fn try_compute_order(instance: &Instance, rule: OrderRule) -> Result<Vec<usize>, SchedError> {
+    try_compute_order_with(instance, rule, &SimplexOptions::default())
+}
+
+/// [`try_compute_order`] with explicit simplex options for the LP-backed
+/// rule (pivot/wall-clock budgets, stall detection, duality verification).
+/// The options are ignored by heuristic rules.
+pub fn try_compute_order_with(
+    instance: &Instance,
+    rule: OrderRule,
+    lp_opts: &SimplexOptions,
+) -> Result<Vec<usize>, SchedError> {
+    match rule {
+        OrderRule::LpBased => match try_solve_interval_lp_with(instance, lp_opts) {
+            Ok(lp) => Ok(lp.order),
+            Err(source) => Err(SchedError::Lp {
+                rule: rule.name(),
+                source,
+            }),
+        },
+        _ => Ok(compute_order(instance, rule)),
+    }
 }
 
 /// The BSSI primal–dual permutation over port loads (see
@@ -119,9 +148,11 @@ fn port_primal_dual_order(instance: &Instance) -> Vec<usize> {
             .iter()
             .enumerate()
             .max_by_key(|&(_, &l)| l)
-            .expect("at least one port");
+            .unwrap_or_else(|| unreachable!("fabric has at least one port"));
         let k_star = if load == 0 {
-            (0..n).find(|&k| remaining[k]).expect("a coflow remains")
+            (0..n)
+                .find(|&k| remaining[k])
+                .unwrap_or_else(|| unreachable!("loop runs once per remaining coflow"))
         } else {
             let mut best: Option<(usize, f64)> = None;
             for k in 0..n {
@@ -133,7 +164,8 @@ fn port_primal_dual_order(instance: &Instance) -> Vec<usize> {
                     best = Some((k, ratio));
                 }
             }
-            let (k_star, theta) = best.expect("max-load port has a contributing coflow");
+            let (k_star, theta) =
+                best.unwrap_or_else(|| unreachable!("max-load port has a contributing coflow"));
             for k in 0..n {
                 if remaining[k] && k != k_star {
                     residual[k] -= theta * port_loads[k][port] as f64;

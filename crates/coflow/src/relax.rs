@@ -17,7 +17,7 @@
 
 use crate::instance::Instance;
 use crate::intervals::GeometricGrid;
-use coflow_lp::{solve_with, Model, SimplexOptions, Status, VarId};
+use coflow_lp::{solve_with, try_solve_with, LpError, Model, SimplexOptions, Status, VarId};
 
 /// Result of solving the interval-indexed relaxation (LP).
 #[derive(Clone, Debug)]
@@ -173,7 +173,7 @@ fn extract_relaxation(
         })
         .collect();
     let mut order: Vec<usize> = (0..instance.len()).collect();
-    order.sort_by(|&a, &b| approx[a].partial_cmp(&approx[b]).unwrap().then(a.cmp(&b)));
+    order.sort_by(|&a, &b| approx[a].total_cmp(&approx[b]).then(a.cmp(&b)));
     LpRelaxation {
         approx_completion: approx,
         order,
@@ -194,15 +194,28 @@ pub fn solve_interval_lp(instance: &Instance) -> LpRelaxation {
 
 /// [`solve_interval_lp`] with custom simplex options (used by ablations).
 pub fn solve_interval_lp_with(instance: &Instance, opts: &SimplexOptions) -> LpRelaxation {
+    match try_solve_interval_lp_with(instance, opts) {
+        Ok(lp) => lp,
+        Err(e) => panic!("interval LP must be solvable ({})", e),
+    }
+}
+
+/// Fallible variant of [`solve_interval_lp`]: surfaces solver budget and
+/// numerical-health failures as [`LpError`] instead of panicking, so the
+/// scheduling pipeline can degrade to a heuristic order.
+pub fn try_solve_interval_lp(instance: &Instance) -> Result<LpRelaxation, LpError> {
+    try_solve_interval_lp_with(instance, &SimplexOptions::default())
+}
+
+/// [`try_solve_interval_lp`] with custom simplex options (budgets, health
+/// monitoring).
+pub fn try_solve_interval_lp_with(
+    instance: &Instance,
+    opts: &SimplexOptions,
+) -> Result<LpRelaxation, LpError> {
     let (model, vars, grid) = build_interval_model(instance);
-    let sol = solve_with(&model, opts);
-    assert_eq!(
-        sol.status,
-        Status::Optimal,
-        "interval LP must be solvable (status {:?})",
-        sol.status
-    );
-    extract_relaxation(instance, &grid, &vars, &sol)
+    let sol = try_solve_with(&model, opts)?;
+    Ok(extract_relaxation(instance, &grid, &vars, &sol))
 }
 
 /// Result of solving the time-indexed relaxation (LP-EXP).

@@ -62,7 +62,7 @@ pub fn run_greedy(instance: &Instance, order: Vec<usize>) -> ScheduleOutcome {
                 .filter(|&(k, &r)| remaining_total[k] > 0 && r >= slot)
                 .map(|(_, &r)| r)
                 .min()
-                .expect("unfinished demand must have a future release");
+                .unwrap_or_else(|| unreachable!("unfinished demand must have a future release"));
             t = next_release;
             continue;
         }

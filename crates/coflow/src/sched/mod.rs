@@ -12,6 +12,8 @@
 pub mod greedy;
 pub mod online;
 pub mod optimal;
+pub mod recovery;
+pub mod resilient;
 
 use crate::grouping::{group_by_doubling, group_by_grid};
 use crate::instance::Instance;
@@ -248,7 +250,11 @@ pub(crate) fn execute_batches(
         if batch_release > fabric.now() {
             fabric.advance_to(batch_release);
         }
-        let batch_end_pos = batch.iter().map(|&k| pos[k]).max().unwrap();
+        let batch_end_pos = batch
+            .iter()
+            .map(|&k| pos[k])
+            .max()
+            .unwrap_or_else(|| unreachable!("batch checked non-empty above"));
 
         // Aggregate the *remaining* demand of the batch (earlier backfilling
         // may have partially cleared it).

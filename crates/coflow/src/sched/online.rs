@@ -55,7 +55,7 @@ pub fn run_online(instance: &Instance) -> ScheduleOutcome {
             active.sort_by(|&a, &b| {
                 let ka = remaining[a].load() as f64 / weights[a];
                 let kb = remaining[b].load() as f64 / weights[b];
-                ka.partial_cmp(&kb).unwrap().then(a.cmp(&b))
+                ka.total_cmp(&kb).then(a.cmp(&b))
             });
         }
         if active.is_empty() {

@@ -1,0 +1,221 @@
+//! Fault-tolerant ordering stage: the fallback chain `H_LP → H_ρ → H_A`.
+//!
+//! The LP-based order is the only fallible tier of the pipeline — the
+//! simplex solve behind it can exhaust its pivot or wall-clock budget,
+//! stall, or fail numerical health checks. Rather than panicking, the
+//! resilient runner degrades through an explicit chain of ordering rules
+//! and records which tier actually produced the schedule, so experiment
+//! harnesses can report degradation counts and the TWCT cost of falling
+//! back.
+
+use super::{run_with_order, AlgorithmSpec, ScheduleOutcome};
+use crate::error::SchedError;
+use crate::instance::Instance;
+use crate::ordering::{try_compute_order_with, OrderRule};
+use coflow_lp::SimplexOptions;
+
+/// A schedule produced by [`run_resilient`], annotated with provenance:
+/// which rule was requested, which one actually ran, and every failure
+/// absorbed along the way.
+#[derive(Clone, Debug)]
+pub struct ResilientOutcome {
+    /// The schedule from the first tier that succeeded.
+    pub outcome: ScheduleOutcome,
+    /// The rule the caller asked for.
+    pub requested: OrderRule,
+    /// The rule that produced the schedule.
+    pub used: OrderRule,
+    /// Index of `used` in the fallback chain (0 = no degradation).
+    pub tier: usize,
+    /// `(rule, error)` for every tier that failed before `used`.
+    pub failures: Vec<(OrderRule, SchedError)>,
+}
+
+impl ResilientOutcome {
+    /// True when the requested rule itself produced the schedule.
+    pub fn degraded(&self) -> bool {
+        self.tier > 0
+    }
+}
+
+/// The degradation chain for `requested`: `H_LP → H_ρ → H_A` when the
+/// requested rule is LP-backed (the only fallible tier); just `[requested]`
+/// for the heuristic rules, which cannot fail. Every chain ends in an
+/// infallible tier.
+pub fn fallback_chain(requested: OrderRule) -> Vec<OrderRule> {
+    match requested {
+        OrderRule::LpBased => vec![
+            OrderRule::LpBased,
+            OrderRule::LoadOverWeight,
+            OrderRule::Arrival,
+        ],
+        rule => vec![rule],
+    }
+}
+
+/// Runs one grid cell with ordering-stage degradation: tries each rule of
+/// [`fallback_chain`]`(spec.order)` in turn and schedules with the first
+/// that succeeds. `lp_opts` carries the solver budgets and health checks
+/// applied to LP-backed tiers. Never panics on solver failure — the chain
+/// ends in infallible heuristics.
+pub fn run_resilient(
+    instance: &Instance,
+    spec: &AlgorithmSpec,
+    lp_opts: &SimplexOptions,
+) -> ResilientOutcome {
+    match run_resilient_chain(instance, spec, &fallback_chain(spec.order), lp_opts) {
+        Ok(outcome) => outcome,
+        Err(e) => unreachable!("built-in chain ends in infallible tiers: {}", e),
+    }
+}
+
+/// [`run_resilient`] with a caller-supplied chain. Returns
+/// [`SchedError::Exhausted`] if every tier fails (possible only when the
+/// chain omits the heuristic rules).
+pub fn run_resilient_chain(
+    instance: &Instance,
+    spec: &AlgorithmSpec,
+    chain: &[OrderRule],
+    lp_opts: &SimplexOptions,
+) -> Result<ResilientOutcome, SchedError> {
+    let mut failures: Vec<(OrderRule, SchedError)> = Vec::new();
+    for (tier, &rule) in chain.iter().enumerate() {
+        match try_compute_order_with(instance, rule, lp_opts) {
+            Ok(order) => {
+                let outcome = run_with_order(instance, order, spec.grouping, spec.backfill);
+                return Ok(ResilientOutcome {
+                    outcome,
+                    requested: spec.order,
+                    used: rule,
+                    tier,
+                    failures,
+                });
+            }
+            Err(err) => failures.push((rule, err)),
+        }
+    }
+    Err(SchedError::Exhausted {
+        attempts: failures
+            .iter()
+            .map(|(rule, err)| (rule.name(), err.to_string()))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coflow::Coflow;
+    use coflow_lp::LpError;
+    use coflow_matching::IntMatrix;
+    use coflow_netsim::validate_trace;
+
+    fn inst() -> Instance {
+        let c0 = Coflow::new(0, IntMatrix::from_nested(&[[3, 1], [0, 2]])).with_weight(2.0);
+        let c1 = Coflow::new(1, IntMatrix::from_nested(&[[1, 4], [2, 0]]));
+        let c2 = Coflow::new(2, IntMatrix::from_nested(&[[0, 0], [5, 1]])).with_weight(0.5);
+        Instance::new(2, vec![c0, c1, c2])
+    }
+
+    fn starved() -> SimplexOptions {
+        SimplexOptions {
+            max_iterations: 0,
+            ..SimplexOptions::default()
+        }
+    }
+
+    #[test]
+    fn chain_starts_at_requested_and_ends_at_arrival() {
+        assert_eq!(
+            fallback_chain(OrderRule::LpBased),
+            vec![
+                OrderRule::LpBased,
+                OrderRule::LoadOverWeight,
+                OrderRule::Arrival
+            ]
+        );
+        assert_eq!(
+            fallback_chain(OrderRule::LoadOverWeight),
+            vec![OrderRule::LoadOverWeight]
+        );
+        assert_eq!(fallback_chain(OrderRule::Arrival), vec![OrderRule::Arrival]);
+    }
+
+    #[test]
+    fn healthy_lp_runs_at_tier_zero() {
+        let spec = AlgorithmSpec::algorithm2();
+        let out = run_resilient(&inst(), &spec, &SimplexOptions::default());
+        assert_eq!(out.used, OrderRule::LpBased);
+        assert_eq!(out.tier, 0);
+        assert!(!out.degraded());
+        assert!(out.failures.is_empty());
+    }
+
+    #[test]
+    fn starved_lp_degrades_to_load_over_weight() {
+        let instance = inst();
+        let spec = AlgorithmSpec::algorithm2();
+        let out = run_resilient(&instance, &spec, &starved());
+        assert_eq!(out.requested, OrderRule::LpBased);
+        assert_eq!(out.used, OrderRule::LoadOverWeight);
+        assert_eq!(out.tier, 1);
+        assert!(out.degraded());
+        assert_eq!(out.failures.len(), 1);
+        match &out.failures[0] {
+            (OrderRule::LpBased, SchedError::Lp { rule, source }) => {
+                assert_eq!(*rule, "H_LP");
+                assert_eq!(*source, LpError::IterationLimit { iterations: 0 });
+            }
+            other => panic!("unexpected failure record: {:?}", other),
+        }
+        // The degraded schedule is still a valid solution of problem (O).
+        let times = validate_trace(
+            &instance.demand_matrices(),
+            &instance.releases(),
+            &out.outcome.trace,
+        )
+        .expect("degraded schedule must validate");
+        assert_eq!(times, out.outcome.completions);
+    }
+
+    #[test]
+    fn heuristic_rules_never_degrade_even_when_starved() {
+        for rule in [
+            OrderRule::Arrival,
+            OrderRule::LoadOverWeight,
+            OrderRule::SizeOverWeight,
+            OrderRule::PortPrimalDual,
+        ] {
+            let spec = AlgorithmSpec {
+                order: rule,
+                grouping: false,
+                backfill: false,
+            };
+            let out = run_resilient(&inst(), &spec, &starved());
+            assert_eq!(out.used, rule);
+            assert_eq!(out.tier, 0);
+        }
+    }
+
+    #[test]
+    fn empty_chain_is_exhausted() {
+        let spec = AlgorithmSpec::algorithm2();
+        let err = run_resilient_chain(&inst(), &spec, &[], &starved()).unwrap_err();
+        assert!(matches!(err, SchedError::Exhausted { .. }));
+    }
+
+    #[test]
+    fn lp_only_chain_reports_the_lp_failure() {
+        let spec = AlgorithmSpec::algorithm2();
+        let err =
+            run_resilient_chain(&inst(), &spec, &[OrderRule::LpBased], &starved()).unwrap_err();
+        match err {
+            SchedError::Exhausted { attempts } => {
+                assert_eq!(attempts.len(), 1);
+                assert_eq!(attempts[0].0, "H_LP");
+                assert!(attempts[0].1.contains("iteration budget"));
+            }
+            other => panic!("unexpected error: {:?}", other),
+        }
+    }
+}

@@ -25,6 +25,10 @@
 //! assert!((sol.objective - 5.0).abs() < 1e-9); // x = 3, y = 1
 //! ```
 
+// Library code must justify every panic: unwraps/expects surface as clippy
+// warnings (tests and benches are exempt via the cfg gate).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+pub mod error;
 pub mod lu;
 pub mod model;
 pub mod presolve;
@@ -32,7 +36,8 @@ pub mod simplex;
 pub mod sparse;
 pub mod verify;
 
+pub use error::LpError;
 pub use model::{Constraint, Model, RowId, Sense, Solution, Status, VarId};
-pub use simplex::{solve, solve_with, SimplexOptions};
+pub use simplex::{solve, solve_with, try_solve, try_solve_with, SimplexOptions};
 pub use sparse::{CscMatrix, TripletBuilder};
 pub use verify::{certify, Certificate};

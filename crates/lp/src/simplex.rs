@@ -19,16 +19,35 @@
 // the textbook algorithms and keep row/column index arithmetic explicit.
 #![allow(clippy::needless_range_loop)]
 
+use crate::error::LpError;
 use crate::lu::LuFactors;
 use crate::model::{Model, Sense, Solution, Status};
 use crate::presolve::{presolve, PresolveResult};
 use crate::sparse::{CscMatrix, TripletBuilder};
+use std::time::Instant;
 
 /// Tuning knobs for the simplex engine.
 #[derive(Clone, Debug)]
 pub struct SimplexOptions {
     /// Hard cap on total pivots across both phases.
     pub max_iterations: usize,
+    /// Wall-clock budget in milliseconds across both phases (`None`:
+    /// unlimited). Exceeding it surfaces [`LpError::TimeLimit`] from
+    /// [`try_solve_with`].
+    pub time_limit_ms: Option<u64>,
+    /// Consecutive pivots without objective improvement before the solve is
+    /// declared numerically stalled (`None`: disabled). Degenerate stretches
+    /// are already handled by the Bland switch, so this is a backstop
+    /// against cycling that survives it; surfaced as [`LpError::Stalled`].
+    pub stall_window: Option<usize>,
+    /// Maximum admissible constraint violation of a returned optimum.
+    /// Exceeding it surfaces [`LpError::ResidualBlowup`] from
+    /// [`try_solve_with`].
+    pub max_residual: f64,
+    /// Re-certify every claimed optimum via strong duality
+    /// ([`crate::verify::certify`]); failures surface as
+    /// [`LpError::CertificationFailed`] from [`try_solve_with`].
+    pub verify_duality: bool,
     /// Pivots between basis refactorizations.
     pub refactor_period: usize,
     /// Reduced costs above `-opt_tol` count as nonnegative (optimality).
@@ -47,6 +66,10 @@ impl Default for SimplexOptions {
     fn default() -> Self {
         SimplexOptions {
             max_iterations: 200_000,
+            time_limit_ms: None,
+            stall_window: None,
+            max_residual: 1e-6,
+            verify_duality: false,
             refactor_period: 64,
             opt_tol: 1e-9,
             pivot_tol: 1e-9,
@@ -54,6 +77,54 @@ impl Default for SimplexOptions {
             presolve: true,
             always_bland: false,
         }
+    }
+}
+
+/// Cross-phase budget and numerical-health tracking.
+struct HealthMonitor {
+    start: Instant,
+    time_limit_ms: Option<u64>,
+    stall_window: Option<usize>,
+    best_objective: f64,
+    stall_run: usize,
+}
+
+impl HealthMonitor {
+    fn new(opts: &SimplexOptions) -> Self {
+        HealthMonitor {
+            start: Instant::now(),
+            time_limit_ms: opts.time_limit_ms,
+            stall_window: opts.stall_window,
+            best_objective: f64::INFINITY,
+            stall_run: 0,
+        }
+    }
+
+    /// Resets per-phase state (the phase objective changes meaning).
+    fn begin_phase(&mut self) {
+        self.best_objective = f64::INFINITY;
+        self.stall_run = 0;
+    }
+
+    fn over_time_budget(&self) -> Option<u64> {
+        let limit = self.time_limit_ms?;
+        let elapsed = self.start.elapsed().as_millis() as u64;
+        (elapsed > limit).then_some(elapsed)
+    }
+
+    /// Records the post-pivot phase objective; returns `true` when the
+    /// stall window is exceeded.
+    fn record_objective(&mut self, objective: f64, tol: f64) -> bool {
+        let Some(window) = self.stall_window else {
+            return false;
+        };
+        if objective < self.best_objective - tol * (1.0 + self.best_objective.abs()) {
+            self.best_objective = objective;
+            self.stall_run = 0;
+        } else {
+            self.stall_run += 1;
+        }
+        self.stall_run >= window
     }
 }
 
@@ -94,6 +165,8 @@ enum PhaseEnd {
     Optimal,
     Unbounded,
     IterationLimit,
+    TimeLimit { elapsed_ms: u64 },
+    Stalled { window: usize },
 }
 
 impl<'a> Engine<'a> {
@@ -131,7 +204,9 @@ impl<'a> Engine<'a> {
     }
 
     /// Rebuilds the dense basis matrix, refactorizes, and recomputes `x_B`.
-    fn refactorize(&mut self) {
+    /// A numerically singular basis (pivot-tolerance interactions on
+    /// ill-conditioned data) is reported rather than crashing the solve.
+    fn refactorize(&mut self) -> Result<(), LpError> {
         let m = self.m();
         let mut dense = vec![0.0; m * m];
         for (pos, &col) in self.basis.iter().enumerate() {
@@ -141,21 +216,31 @@ impl<'a> Engine<'a> {
             }
         }
         self.lu = LuFactors::factorize(m, &dense)
-            .expect("basis matrix must be nonsingular (pivot selection bug)");
+            .map_err(|_| LpError::SingularBasis { iterations: self.iterations })?;
         self.etas.clear();
         let mut xb = self.b.clone();
         self.ftran(&mut xb);
         self.x_b = xb;
+        Ok(())
     }
 
     /// Runs the simplex loop for the given phase cost vector.
     /// `allow_artificial_entering` is true only in phase 1.
-    fn run_phase(&mut self, costs: &[f64], allow_artificial_entering: bool) -> PhaseEnd {
+    fn run_phase(
+        &mut self,
+        costs: &[f64],
+        allow_artificial_entering: bool,
+        health: &mut HealthMonitor,
+    ) -> Result<PhaseEnd, LpError> {
         let m = self.m();
         let mut degenerate_run = 0usize;
+        health.begin_phase();
         loop {
             if self.iterations >= self.opts.max_iterations {
-                return PhaseEnd::IterationLimit;
+                return Ok(PhaseEnd::IterationLimit);
+            }
+            if let Some(elapsed_ms) = health.over_time_budget() {
+                return Ok(PhaseEnd::TimeLimit { elapsed_ms });
             }
             // Pricing: y = B^{-T} c_B, reduced costs r_j = c_j - y' a_j.
             let mut y = vec![0.0; m];
@@ -189,7 +274,7 @@ impl<'a> Engine<'a> {
                 }
             }
             let Some((q, _)) = entering else {
-                return PhaseEnd::Optimal;
+                return Ok(PhaseEnd::Optimal);
             };
 
             // FTRAN the entering column.
@@ -225,7 +310,7 @@ impl<'a> Engine<'a> {
             }
             let Some((r, theta)) = leave else {
                 self.scratch = d;
-                return PhaseEnd::Unbounded;
+                return Ok(PhaseEnd::Unbounded);
             };
 
             // Update basic values.
@@ -246,7 +331,21 @@ impl<'a> Engine<'a> {
 
             self.etas.push(Eta { r, d });
             if self.etas.len() >= self.opts.refactor_period {
-                self.refactorize();
+                self.refactorize()?;
+            }
+
+            // Numerical-health monitoring: the phase objective must keep
+            // improving (allowing degenerate stretches up to the window).
+            let objective: f64 = self
+                .basis
+                .iter()
+                .zip(&self.x_b)
+                .map(|(&col, &xb)| costs[col] * xb)
+                .sum();
+            if health.record_objective(objective, self.opts.opt_tol) {
+                return Ok(PhaseEnd::Stalled {
+                    window: self.opts.stall_window.unwrap_or(0),
+                });
             }
         }
     }
@@ -254,7 +353,7 @@ impl<'a> Engine<'a> {
     /// After phase 1: pivot basic artificials out where a usable non-
     /// artificial column exists in their row; remaining ones sit on
     /// linearly-dependent rows and provably stay at zero.
-    fn drive_out_artificials(&mut self) {
+    fn drive_out_artificials(&mut self) -> Result<(), LpError> {
         let m = self.m();
         for pos in 0..m {
             if self.kind[self.basis[pos]] != ColKind::Artificial {
@@ -287,15 +386,18 @@ impl<'a> Engine<'a> {
                 self.basis[pos] = j;
                 self.etas.push(Eta { r: pos, d });
                 if self.etas.len() >= self.opts.refactor_period {
-                    self.refactorize();
+                    self.refactorize()?;
                 }
             }
         }
+        Ok(())
     }
 }
 
-/// Solves `model` with the given options.
-pub fn solve_with(model: &Model, opts: &SimplexOptions) -> Solution {
+/// Shared solver core: always produces a best-effort legacy [`Solution`],
+/// plus the typed classification when the solve did not reach a clean
+/// optimum.
+fn solve_core(model: &Model, opts: &SimplexOptions) -> (Solution, Option<LpError>) {
     let n = model.num_vars();
     let infeasible = |removed: usize| Solution {
         status: Status::Infeasible,
@@ -309,7 +411,9 @@ pub fn solve_with(model: &Model, opts: &SimplexOptions) -> Solution {
     // Presolve.
     let (kept_rows, removed) = if opts.presolve {
         match presolve(model, opts.opt_tol) {
-            PresolveResult::Infeasible { .. } => return infeasible(0),
+            PresolveResult::Infeasible { .. } => {
+                return (infeasible(0), Some(LpError::Infeasible))
+            }
             PresolveResult::Reduced { kept_rows, removed } => (kept_rows, removed),
         }
     } else {
@@ -321,18 +425,21 @@ pub fn solve_with(model: &Model, opts: &SimplexOptions) -> Solution {
         // No constraints: minimum is 0 unless some cost is negative
         // (then unbounded since variables have no real upper bounds here).
         let unbounded = model.costs().iter().any(|&c| c < 0.0);
-        return Solution {
-            status: if unbounded {
-                Status::Unbounded
-            } else {
-                Status::Optimal
+        return (
+            Solution {
+                status: if unbounded {
+                    Status::Unbounded
+                } else {
+                    Status::Optimal
+                },
+                objective: if unbounded { f64::NEG_INFINITY } else { 0.0 },
+                x: vec![0.0; n],
+                duals: vec![0.0; model.num_constraints()],
+                iterations: 0,
+                presolve_rows_removed: removed,
             },
-            objective: if unbounded { f64::NEG_INFINITY } else { 0.0 },
-            x: vec![0.0; n],
-            duals: vec![0.0; model.num_constraints()],
-            iterations: 0,
-            presolve_rows_removed: removed,
-        };
+            unbounded.then_some(LpError::Unbounded),
+        );
     }
 
     // Standard form: flip rows to make rhs >= 0, then add slack / surplus /
@@ -429,7 +536,10 @@ pub fn solve_with(model: &Model, opts: &SimplexOptions) -> Solution {
     // Initial basis is NOT the identity in general (artificials are +1 but
     // sit on flipped rows already handled; slack and artificial columns are
     // unit vectors, so it IS identity). Factorize the identity directly.
-    let lu = LuFactors::factorize(m, &identity).expect("identity is nonsingular");
+    let lu = match LuFactors::factorize(m, &identity) {
+        Ok(lu) => lu,
+        Err(_) => unreachable!("identity is nonsingular"),
+    };
 
     let mut engine = Engine {
         a,
@@ -446,6 +556,22 @@ pub fn solve_with(model: &Model, opts: &SimplexOptions) -> Solution {
         scratch: Vec::new(),
     };
 
+    let mut health = HealthMonitor::new(opts);
+    // Best-effort solution for budget/health failures mid-solve.
+    let aborted = |iterations: usize, error: LpError| {
+        (
+            Solution {
+                status: Status::IterationLimit,
+                objective: f64::NAN,
+                x: vec![0.0; n],
+                duals: vec![0.0; model.num_constraints()],
+                iterations,
+                presolve_rows_removed: removed,
+            },
+            Some(error),
+        )
+    };
+
     // Phase 1.
     if has_artificials {
         let mut costs_phase1 = vec![0.0; n_total];
@@ -454,16 +580,25 @@ pub fn solve_with(model: &Model, opts: &SimplexOptions) -> Solution {
                 costs_phase1[j] = 1.0;
             }
         }
-        match engine.run_phase(&costs_phase1, true) {
+        let end = match engine.run_phase(&costs_phase1, true, &mut health) {
+            Ok(end) => end,
+            Err(e) => return aborted(engine.iterations, e),
+        };
+        match end {
             PhaseEnd::IterationLimit => {
-                return Solution {
-                    status: Status::IterationLimit,
-                    objective: f64::NAN,
-                    x: vec![0.0; n],
-                    duals: vec![0.0; model.num_constraints()],
-                    iterations: engine.iterations,
-                    presolve_rows_removed: removed,
-                };
+                let iters = engine.iterations;
+                return aborted(iters, LpError::IterationLimit { iterations: iters });
+            }
+            PhaseEnd::TimeLimit { elapsed_ms } => {
+                let iters = engine.iterations;
+                return aborted(
+                    iters,
+                    LpError::TimeLimit { elapsed_ms, iterations: iters },
+                );
+            }
+            PhaseEnd::Stalled { window } => {
+                let iters = engine.iterations;
+                return aborted(iters, LpError::Stalled { iterations: iters, window });
             }
             PhaseEnd::Unbounded => unreachable!("phase 1 objective is bounded below by 0"),
             PhaseEnd::Optimal => {}
@@ -476,19 +611,37 @@ pub fn solve_with(model: &Model, opts: &SimplexOptions) -> Solution {
             .map(|(_, &v)| v)
             .sum();
         if phase1_obj > 1e-7 {
-            return infeasible(removed);
+            return (infeasible(removed), Some(LpError::Infeasible));
         }
-        engine.refactorize();
-        engine.drive_out_artificials();
+        if let Err(e) = engine.refactorize() {
+            return aborted(engine.iterations, e);
+        }
+        if let Err(e) = engine.drive_out_artificials() {
+            return aborted(engine.iterations, e);
+        }
     }
 
     // Phase 2.
     let phase2_costs = engine.costs_phase2.clone();
-    let end = engine.run_phase(&phase2_costs, false);
-    let status = match end {
-        PhaseEnd::Optimal => Status::Optimal,
-        PhaseEnd::Unbounded => Status::Unbounded,
-        PhaseEnd::IterationLimit => Status::IterationLimit,
+    let end = match engine.run_phase(&phase2_costs, false, &mut health) {
+        Ok(end) => end,
+        Err(e) => return aborted(engine.iterations, e),
+    };
+    let (status, error) = match end {
+        PhaseEnd::Optimal => (Status::Optimal, None),
+        PhaseEnd::Unbounded => (Status::Unbounded, Some(LpError::Unbounded)),
+        PhaseEnd::IterationLimit => (
+            Status::IterationLimit,
+            Some(LpError::IterationLimit { iterations: engine.iterations }),
+        ),
+        PhaseEnd::TimeLimit { elapsed_ms } => (
+            Status::IterationLimit,
+            Some(LpError::TimeLimit { elapsed_ms, iterations: engine.iterations }),
+        ),
+        PhaseEnd::Stalled { window } => (
+            Status::IterationLimit,
+            Some(LpError::Stalled { iterations: engine.iterations, window }),
+        ),
     };
 
     // Extract primal values.
@@ -512,14 +665,72 @@ pub fn solve_with(model: &Model, opts: &SimplexOptions) -> Solution {
         duals[orig] = if flipped[r] { -y[r] } else { y[r] };
     }
 
-    Solution {
-        status,
-        objective,
-        x,
-        duals,
-        iterations: engine.iterations,
-        presolve_rows_removed: removed,
+    (
+        Solution {
+            status,
+            objective,
+            x,
+            duals,
+            iterations: engine.iterations,
+            presolve_rows_removed: removed,
+        },
+        error,
+    )
+}
+
+/// Solves `model` with the given options, returning the legacy status-coded
+/// [`Solution`].
+///
+/// Panics only on a numerically singular basis — with the engine's pivot
+/// tolerances that indicates a pivot-selection bug, a genuine invariant
+/// violation. Use [`try_solve_with`] for `Result`-typed failure handling
+/// including that case.
+pub fn solve_with(model: &Model, opts: &SimplexOptions) -> Solution {
+    let (solution, error) = solve_core(model, opts);
+    if let Some(LpError::SingularBasis { iterations }) = error {
+        panic!(
+            "basis matrix must be nonsingular (pivot selection bug, {} pivots)",
+            iterations
+        );
     }
+    solution
+}
+
+/// Solves `model`, classifying every unhealthy outcome as an [`LpError`].
+///
+/// `Ok` guarantees an optimal solution that passed the configured health
+/// checks: primal residual within [`SimplexOptions::max_residual`], and —
+/// when [`SimplexOptions::verify_duality`] is set — an independent
+/// strong-duality certificate.
+pub fn try_solve_with(model: &Model, opts: &SimplexOptions) -> Result<Solution, LpError> {
+    let (solution, error) = solve_core(model, opts);
+    if let Some(e) = error {
+        return Err(e);
+    }
+    // Numerical-health checks on the claimed optimum.
+    let residual = model.max_violation(&solution.x);
+    // NaN residuals must also trip the check, hence the explicit test.
+    if residual.is_nan() || residual > opts.max_residual {
+        return Err(LpError::ResidualBlowup { residual, limit: opts.max_residual });
+    }
+    if opts.verify_duality {
+        let cert = crate::verify::certify(model, &solution);
+        let tol = opts.max_residual.max(1e-7);
+        if !cert.holds(tol) {
+            let worst = cert
+                .primal_violation
+                .max(cert.dual_violation)
+                .max(cert.gap)
+                .max(cert.comp_slackness);
+            return Err(LpError::CertificationFailed { worst_residual: worst, tol });
+        }
+    }
+    Ok(solution)
+}
+
+/// [`try_solve_with`] under default options.
+pub fn try_solve(model: &Model) -> Result<Solution, LpError> {
+    try_solve_with(model, &SimplexOptions::default())
 }
 
 /// Solves `model` with default options.

@@ -78,12 +78,12 @@ pub fn augment_to_balanced(d: &IntMatrix) -> IntMatrix {
             .iter()
             .enumerate()
             .min_by_key(|&(_, &s)| s)
-            .expect("m > 0");
+            .unwrap_or_else(|| unreachable!("m > 0"));
         let (j_star, &c_min) = col_sums
             .iter()
             .enumerate()
             .min_by_key(|&(_, &s)| s)
-            .expect("m > 0");
+            .unwrap_or_else(|| unreachable!("m > 0"));
         let eta = r_min.min(c_min);
         if eta >= rho {
             break;
@@ -125,14 +125,14 @@ pub fn decompose_balanced(balanced: &IntMatrix) -> Vec<MatchingSlot> {
         let map: Vec<usize> = matching
             .pair_left
             .iter()
-            .map(|v| v.expect("perfect matching"))
+            .map(|v| v.unwrap_or_else(|| unreachable!("perfect matching")))
             .collect();
         let perm = Permutation::new(map);
         let q = perm
             .pairs()
             .map(|(i, j)| work[(i, j)])
             .min()
-            .expect("nonempty matrix");
+            .unwrap_or_else(|| unreachable!("nonempty matrix"));
         debug_assert!(q > 0);
         for (i, j) in perm.pairs() {
             work[(i, j)] -= q;

@@ -42,7 +42,7 @@ fn max_bottleneck_perfect_matching(
             let map = matching
                 .pair_left
                 .iter()
-                .map(|v| v.expect("perfect"))
+                .map(|v| v.unwrap_or_else(|| unreachable!("perfect")))
                 .collect();
             Some(Permutation::new(map))
         } else {
@@ -84,12 +84,12 @@ pub fn decompose_balanced_maxmin(balanced: &IntMatrix) -> Vec<MatchingSlot> {
     let mut remaining = rho;
     while remaining > 0 {
         let perm = max_bottleneck_perfect_matching(&work, &mut hk)
-            .expect("balanced matrix must admit a perfect matching");
+            .unwrap_or_else(|| unreachable!("balanced matrix must admit a perfect matching"));
         let q = perm
             .pairs()
             .map(|(i, j)| work[(i, j)])
             .min()
-            .expect("nonempty matching");
+            .unwrap_or_else(|| unreachable!("nonempty matching"));
         debug_assert!(q > 0);
         for (i, j) in perm.pairs() {
             work[(i, j)] -= q;

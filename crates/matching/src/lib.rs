@@ -21,6 +21,9 @@
 //! assert_eq!(dec.total_slots(), 3);
 //! ```
 
+// Library code must justify every panic: unwraps/expects surface as clippy
+// warnings (tests and benches are exempt via the cfg gate).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod bipartite;
 pub mod bvn;
 pub mod bvn_maxmin;

@@ -1,0 +1,692 @@
+//! Deterministic fault injection for the switch fabric.
+//!
+//! A [`FaultPlan`] is a seedable, reproducible set of [`FaultEvent`]s —
+//! port outages over slot windows, degraded links that serve only every
+//! `stride`-th slot, and coflow cancellations. [`FaultSim`] executes a
+//! planned [`ScheduleTrace`] slot by slot against the plan: units whose
+//! port or link is down are *stranded* (left in the remaining demand for a
+//! later replan), cancelled coflows stop being served, and structural
+//! violations of the problem's constraints — which indicate a scheduler
+//! bug, not a fault — surface as [`SimError`].
+
+use crate::trace::{Run, ScheduleTrace, Transfer};
+use coflow_matching::IntMatrix;
+use std::fmt;
+
+/// A structural violation found while executing a schedule under faults.
+///
+/// These are *scheduler* bugs (or corrupted traces), distinct from the
+/// injected faults, which are absorbed by stranding demand.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// An ingress or egress port was matched twice within one slot.
+    PortMatchedTwice {
+        /// The offending slot.
+        slot: u64,
+        /// The reused port.
+        port: usize,
+        /// True for an ingress port, false for an egress port.
+        ingress: bool,
+    },
+    /// A move references a coflow index outside the instance.
+    UnknownCoflow {
+        /// The offending index.
+        coflow: usize,
+    },
+    /// A move references a port outside the fabric.
+    PortOutOfRange {
+        /// The offending port index.
+        port: usize,
+        /// Fabric size.
+        ports: usize,
+    },
+    /// A coflow was served in a slot its release date forbids.
+    ReleaseViolated {
+        /// The offending slot.
+        slot: u64,
+        /// The coflow.
+        coflow: usize,
+        /// Its release date.
+        release: u64,
+    },
+    /// A trace run starts at or before the simulator's current time.
+    TimeReversed {
+        /// The run's start slot.
+        start: u64,
+        /// The simulator clock it would rewind.
+        now: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PortMatchedTwice { slot, port, ingress } => write!(
+                f,
+                "slot {}: {} port {} matched twice",
+                slot,
+                if *ingress { "ingress" } else { "egress" },
+                port
+            ),
+            SimError::UnknownCoflow { coflow } => {
+                write!(f, "move references unknown coflow {}", coflow)
+            }
+            SimError::PortOutOfRange { port, ports } => {
+                write!(f, "port {} outside fabric of {} ports", port, ports)
+            }
+            SimError::ReleaseViolated { slot, coflow, release } => write!(
+                f,
+                "slot {}: coflow {} served before its release date {}",
+                slot, coflow, release
+            ),
+            SimError::TimeReversed { start, now } => {
+                write!(f, "run starts at slot {} but the clock is already at {}", start, now)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// One injected fault. Slot windows are inclusive on both ends and use the
+/// paper's 1-indexed slots.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Ingress `port` sends nothing during `[start, end]`.
+    IngressOutage {
+        /// The downed ingress.
+        port: usize,
+        /// First affected slot.
+        start: u64,
+        /// Last affected slot.
+        end: u64,
+    },
+    /// Egress `port` receives nothing during `[start, end]`.
+    EgressOutage {
+        /// The downed egress.
+        port: usize,
+        /// First affected slot.
+        start: u64,
+        /// Last affected slot.
+        end: u64,
+    },
+    /// Link `(src, dst)` is degraded during `[start, end]`: it carries a
+    /// unit only in slots where `(slot - start) % stride == 0`.
+    LinkDegraded {
+        /// Ingress of the degraded link.
+        src: usize,
+        /// Egress of the degraded link.
+        dst: usize,
+        /// First affected slot.
+        start: u64,
+        /// Last affected slot.
+        end: u64,
+        /// Serve-every-`stride` period (`≥ 2` to have any effect).
+        stride: u64,
+    },
+    /// Coflow `coflow` is cancelled at slot `at`: from that slot on its
+    /// remaining demand no longer needs (or is allowed) to be served. A
+    /// coflow that already completed is unaffected.
+    CoflowCancelled {
+        /// The cancelled coflow.
+        coflow: usize,
+        /// First slot at which it is gone.
+        at: u64,
+    },
+}
+
+/// A deterministic, replayable set of fault events.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The injected events, in no particular order.
+    pub events: Vec<FaultEvent>,
+}
+
+/// SplitMix64 — tiny deterministic generator so plans are seedable without
+/// pulling an RNG dependency into the simulator.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive); `lo ≤ hi`.
+    fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo + 1)
+    }
+}
+
+impl FaultPlan {
+    /// A plan with the given events.
+    pub fn new(events: Vec<FaultEvent>) -> Self {
+        FaultPlan { events }
+    }
+
+    /// Generates a reproducible plan for an `m`-port fabric with `n`
+    /// coflows over `horizon` slots. Each ingress and each egress goes down
+    /// with probability `rate` for a window of up to a quarter of the
+    /// horizon; each port pair drawn for degradation trials is degraded
+    /// with probability `rate`; each coflow is cancelled with probability
+    /// `rate / 2`. The same `(m, n, horizon, rate, seed)` always yields the
+    /// same plan.
+    pub fn generate(m: usize, n: usize, horizon: u64, rate: f64, seed: u64) -> Self {
+        let horizon = horizon.max(1);
+        let max_len = (horizon / 4).max(1);
+        let mut rng = SplitMix64(seed);
+        let mut events = Vec::new();
+        let window = |rng: &mut SplitMix64| {
+            let start = rng.range_u64(1, horizon);
+            let end = (start + rng.range_u64(1, max_len) - 1).min(horizon);
+            (start, end)
+        };
+        for port in 0..m {
+            if rng.next_f64() < rate {
+                let (start, end) = window(&mut rng);
+                events.push(FaultEvent::IngressOutage { port, start, end });
+            }
+            if rng.next_f64() < rate {
+                let (start, end) = window(&mut rng);
+                events.push(FaultEvent::EgressOutage { port, start, end });
+            }
+        }
+        for _ in 0..m {
+            if rng.next_f64() < rate {
+                let src = rng.range_u64(0, m as u64 - 1) as usize;
+                let dst = rng.range_u64(0, m as u64 - 1) as usize;
+                let (start, end) = window(&mut rng);
+                let stride = rng.range_u64(2, 4);
+                events.push(FaultEvent::LinkDegraded { src, dst, start, end, stride });
+            }
+        }
+        for coflow in 0..n {
+            if rng.next_f64() < rate / 2.0 {
+                let at = rng.range_u64(1, horizon);
+                events.push(FaultEvent::CoflowCancelled { coflow, at });
+            }
+        }
+        FaultPlan { events }
+    }
+
+    /// Slots at which the fault state changes (window starts, the slot
+    /// after window ends, cancellation slots), sorted and deduplicated.
+    /// Between two consecutive boundaries the fault state is constant, so
+    /// these are the natural replanning epochs.
+    pub fn boundaries(&self) -> Vec<u64> {
+        let mut b: Vec<u64> = self
+            .events
+            .iter()
+            .flat_map(|e| match *e {
+                FaultEvent::IngressOutage { start, end, .. }
+                | FaultEvent::EgressOutage { start, end, .. }
+                | FaultEvent::LinkDegraded { start, end, .. } => vec![start, end + 1],
+                FaultEvent::CoflowCancelled { at, .. } => vec![at],
+            })
+            .collect();
+        b.sort_unstable();
+        b.dedup();
+        b
+    }
+
+    /// True when ingress `port` can send in `slot`.
+    pub fn ingress_up(&self, port: usize, slot: u64) -> bool {
+        !self.events.iter().any(|e| matches!(
+            *e,
+            FaultEvent::IngressOutage { port: p, start, end } if p == port && (start..=end).contains(&slot)
+        ))
+    }
+
+    /// True when egress `port` can receive in `slot`.
+    pub fn egress_up(&self, port: usize, slot: u64) -> bool {
+        !self.events.iter().any(|e| matches!(
+            *e,
+            FaultEvent::EgressOutage { port: p, start, end } if p == port && (start..=end).contains(&slot)
+        ))
+    }
+
+    /// True when link `(src, dst)` can carry a unit in `slot`: both ports
+    /// up and every degradation window covering the slot permits it.
+    pub fn pair_open(&self, src: usize, dst: usize, slot: u64) -> bool {
+        if !self.ingress_up(src, slot) || !self.egress_up(dst, slot) {
+            return false;
+        }
+        self.events.iter().all(|e| match *e {
+            FaultEvent::LinkDegraded { src: s, dst: d, start, end, stride } => {
+                s != src || d != dst || !(start..=end).contains(&slot) || (slot - start).is_multiple_of(stride.max(1))
+            }
+            _ => true,
+        })
+    }
+
+    /// The cancellation slot of `coflow`, if the plan cancels it.
+    pub fn cancellation(&self, coflow: usize) -> Option<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::CoflowCancelled { coflow: k, at } if k == coflow => Some(at),
+                _ => None,
+            })
+            .min()
+    }
+}
+
+/// What happened in one executed slot.
+#[derive(Clone, Debug, Default)]
+pub struct SlotOutcome {
+    /// The slot number.
+    pub slot: u64,
+    /// Units actually delivered (one entry per unit move).
+    pub delivered: Vec<(usize, usize, usize)>,
+    /// Planned units stranded by an outage or degradation.
+    pub blocked: Vec<(usize, usize, usize)>,
+    /// Planned units dropped because their coflow was cancelled.
+    pub dropped: Vec<(usize, usize, usize)>,
+}
+
+/// Slot-by-slot executor that applies a [`FaultPlan`] while replaying
+/// planned schedules, stranding blocked demand for later replans.
+#[derive(Clone, Debug)]
+pub struct FaultSim {
+    m: usize,
+    remaining: Vec<IntMatrix>,
+    remaining_total: Vec<u64>,
+    releases: Vec<u64>,
+    completion: Vec<Option<u64>>,
+    last_activity: Vec<u64>,
+    cancelled: Vec<bool>,
+    now: u64,
+    plan: FaultPlan,
+    executed: ScheduleTrace,
+    blocked_units: u64,
+}
+
+impl FaultSim {
+    /// Creates a fault-aware simulator over the instance data.
+    pub fn new(m: usize, demands: &[IntMatrix], releases: &[u64], plan: FaultPlan) -> Self {
+        assert_eq!(demands.len(), releases.len());
+        let remaining_total: Vec<u64> = demands.iter().map(IntMatrix::total).collect();
+        let completion = remaining_total
+            .iter()
+            .zip(releases)
+            .map(|(&tot, &r)| if tot == 0 { Some(r) } else { None })
+            .collect();
+        FaultSim {
+            m,
+            remaining: demands.to_vec(),
+            remaining_total,
+            releases: releases.to_vec(),
+            completion,
+            last_activity: vec![0; demands.len()],
+            cancelled: vec![false; demands.len()],
+            now: 0,
+            plan,
+            executed: ScheduleTrace::new(m),
+            blocked_units: 0,
+        }
+    }
+
+    /// Current time (end of the last processed slot).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The fault plan being applied.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Remaining demand of coflow `k` on pair `(i, j)`.
+    pub fn remaining(&self, k: usize, i: usize, j: usize) -> u64 {
+        self.remaining[k][(i, j)]
+    }
+
+    /// Remaining demand matrix of coflow `k`.
+    pub fn remaining_matrix(&self, k: usize) -> &IntMatrix {
+        &self.remaining[k]
+    }
+
+    /// Remaining total units of coflow `k`.
+    pub fn remaining_total(&self, k: usize) -> u64 {
+        self.remaining_total[k]
+    }
+
+    /// Completion slots (`None` while unfinished or cancelled).
+    pub fn completion_times(&self) -> &[Option<u64>] {
+        &self.completion
+    }
+
+    /// True when coflow `k` has been cancelled.
+    pub fn is_cancelled(&self, k: usize) -> bool {
+        self.cancelled[k]
+    }
+
+    /// Total planned units stranded by faults so far.
+    pub fn blocked_units(&self) -> u64 {
+        self.blocked_units
+    }
+
+    /// True when every coflow is either complete or cancelled.
+    pub fn all_settled(&self) -> bool {
+        self.completion
+            .iter()
+            .zip(&self.cancelled)
+            .all(|(c, &x)| c.is_some() || x)
+    }
+
+    /// Advances the clock to `t ≥ now` without serving anything, applying
+    /// any cancellations that take effect in the skipped slots.
+    pub fn advance_to(&mut self, t: u64) {
+        assert!(t >= self.now, "cannot move time backwards");
+        self.now = t;
+        self.apply_cancellations();
+    }
+
+    fn apply_cancellations(&mut self) {
+        for k in 0..self.cancelled.len() {
+            if self.cancelled[k] || self.completion[k].is_some() {
+                continue;
+            }
+            if let Some(at) = self.plan.cancellation(k) {
+                if at <= self.now + 1 {
+                    self.cancelled[k] = true;
+                    self.remaining_total[k] = 0;
+                    self.remaining[k] = IntMatrix::zeros(self.m);
+                }
+            }
+        }
+    }
+
+    /// Executes one slot of planned unit moves under the fault plan.
+    ///
+    /// Blocked and cancelled units are absorbed (stranded / dropped); only
+    /// structural violations — port reuse, unknown coflows, release
+    /// violations — error. Moves whose demand is already gone (delivered by
+    /// an earlier replan or backfill) are skipped silently.
+    pub fn step(&mut self, moves: &[(usize, usize, usize)]) -> Result<SlotOutcome, SimError> {
+        let slot = self.now + 1;
+        // Cancellations effective at this slot fire before service.
+        self.apply_cancellations();
+        let mut src_used = vec![false; self.m];
+        let mut dst_used = vec![false; self.m];
+        let mut out = SlotOutcome {
+            slot,
+            ..SlotOutcome::default()
+        };
+        for &(i, j, k) in moves {
+            if i >= self.m {
+                return Err(SimError::PortOutOfRange { port: i, ports: self.m });
+            }
+            if j >= self.m {
+                return Err(SimError::PortOutOfRange { port: j, ports: self.m });
+            }
+            if k >= self.remaining.len() {
+                return Err(SimError::UnknownCoflow { coflow: k });
+            }
+            if src_used[i] {
+                return Err(SimError::PortMatchedTwice { slot, port: i, ingress: true });
+            }
+            if dst_used[j] {
+                return Err(SimError::PortMatchedTwice { slot, port: j, ingress: false });
+            }
+            src_used[i] = true;
+            dst_used[j] = true;
+            if self.cancelled[k] {
+                out.dropped.push((i, j, k));
+                continue;
+            }
+            if self.releases[k] >= slot {
+                return Err(SimError::ReleaseViolated {
+                    slot,
+                    coflow: k,
+                    release: self.releases[k],
+                });
+            }
+            if self.remaining[k][(i, j)] == 0 {
+                continue; // already delivered by an earlier replan
+            }
+            if !self.plan.pair_open(i, j, slot) {
+                self.blocked_units += 1;
+                out.blocked.push((i, j, k));
+                continue;
+            }
+            self.remaining[k][(i, j)] -= 1;
+            self.remaining_total[k] -= 1;
+            self.last_activity[k] = slot;
+            if self.remaining_total[k] == 0 {
+                self.completion[k] = Some(slot);
+            }
+            out.delivered.push((i, j, k));
+        }
+        if !out.delivered.is_empty() {
+            let transfers = out
+                .delivered
+                .iter()
+                .map(|&(src, dst, coflow)| Transfer { src, dst, coflow, units: 1 })
+                .collect();
+            self.executed.push_run(Run {
+                start: slot,
+                duration: 1,
+                transfers,
+            });
+        }
+        self.now = slot;
+        Ok(out)
+    }
+
+    /// Replays `trace` slot by slot from the current time, stopping before
+    /// slot `stop_before` (exclusive) when given. Slots the trace leaves
+    /// idle are skipped by advancing the clock. Returns the per-slot
+    /// outcomes of the executed prefix.
+    ///
+    /// With `stop_before = Some(b)` the clock always ends at `b - 1` (or
+    /// later, if it already was); with `None` it ends at the trace's
+    /// makespan — so callers make progress even when every planned unit is
+    /// blocked.
+    pub fn execute_trace(
+        &mut self,
+        trace: &ScheduleTrace,
+        stop_before: Option<u64>,
+    ) -> Result<Vec<SlotOutcome>, SimError> {
+        let mut outcomes = Vec::new();
+        'runs: for run in &trace.runs {
+            if let Some(b) = stop_before {
+                if run.start >= b {
+                    break;
+                }
+            }
+            if run.start + run.duration <= self.now + 1 {
+                continue; // entirely in the past (already executed)
+            }
+            if run.start > self.now + 1 {
+                self.advance_to(run.start - 1);
+            }
+            if run.start <= self.now && run.start + run.duration <= self.now + 1 {
+                return Err(SimError::TimeReversed { start: run.start, now: self.now });
+            }
+            let slots = run.slot_moves();
+            for (o, moves) in slots.iter().enumerate() {
+                let slot = run.start + o as u64;
+                if slot <= self.now {
+                    continue; // partially executed run: skip the done prefix
+                }
+                if let Some(b) = stop_before {
+                    if slot >= b {
+                        break 'runs;
+                    }
+                }
+                outcomes.push(self.step(moves)?);
+            }
+        }
+        // Land exactly on the epoch boundary (or the trace end) so the
+        // caller's clock advances even if everything was blocked or idle.
+        let target = match stop_before {
+            Some(b) => (b - 1).max(self.now),
+            None => trace.makespan().max(self.now),
+        };
+        if target > self.now {
+            self.advance_to(target);
+        }
+        Ok(outcomes)
+    }
+
+    /// Finishes execution, returning the executed trace (1-slot runs of
+    /// delivered units), completion slots (`None` = cancelled before
+    /// completion), and the count of fault-stranded planned units.
+    pub fn finish(self) -> (ScheduleTrace, Vec<Option<u64>>, u64) {
+        (self.executed, self.completion, self.blocked_units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(units: u64) -> IntMatrix {
+        let mut d = IntMatrix::zeros(2);
+        d[(0, 1)] = units;
+        d
+    }
+
+    #[test]
+    fn plan_generation_is_deterministic() {
+        let a = FaultPlan::generate(8, 10, 100, 0.5, 42);
+        let b = FaultPlan::generate(8, 10, 100, 0.5, 42);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(8, 10, 100, 0.5, 43);
+        assert_ne!(a, c, "different seeds should give different plans");
+        assert!(!a.events.is_empty(), "rate 0.5 over 8 ports should fire");
+    }
+
+    #[test]
+    fn outage_windows_gate_pairs() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent::IngressOutage { port: 0, start: 3, end: 5 },
+            FaultEvent::EgressOutage { port: 1, start: 10, end: 10 },
+        ]);
+        assert!(plan.pair_open(0, 1, 2));
+        assert!(!plan.pair_open(0, 1, 3));
+        assert!(!plan.pair_open(0, 1, 5));
+        assert!(plan.pair_open(0, 1, 6));
+        assert!(!plan.pair_open(0, 1, 10));
+        assert!(plan.pair_open(1, 0, 4), "other ingress unaffected");
+        assert_eq!(plan.boundaries(), vec![3, 6, 10, 11]);
+    }
+
+    #[test]
+    fn degraded_link_serves_every_stride() {
+        let plan = FaultPlan::new(vec![FaultEvent::LinkDegraded {
+            src: 0,
+            dst: 1,
+            start: 4,
+            end: 9,
+            stride: 3,
+        }]);
+        let open: Vec<u64> = (1..=11).filter(|&s| plan.pair_open(0, 1, s)).collect();
+        assert_eq!(open, vec![1, 2, 3, 4, 7, 10, 11]);
+    }
+
+    #[test]
+    fn blocked_units_are_stranded_not_lost() {
+        let plan = FaultPlan::new(vec![FaultEvent::IngressOutage { port: 0, start: 1, end: 2 }]);
+        let mut sim = FaultSim::new(2, &[demand(3)], &[0], plan);
+        // Slots 1 and 2 blocked, 3..5 deliver.
+        for _ in 0..5 {
+            sim.step(&[(0, 1, 0)]).unwrap();
+        }
+        assert_eq!(sim.blocked_units(), 2);
+        assert_eq!(sim.completion_times(), &[Some(5)]);
+        let (trace, times, blocked) = sim.finish();
+        assert_eq!(times, vec![Some(5)]);
+        assert_eq!(blocked, 2);
+        assert_eq!(trace.total_units(), 3);
+        assert_eq!(trace.runs.len(), 3, "only delivering slots are recorded");
+    }
+
+    #[test]
+    fn cancellation_drops_remaining_demand() {
+        let plan = FaultPlan::new(vec![FaultEvent::CoflowCancelled { coflow: 0, at: 3 }]);
+        let mut sim = FaultSim::new(2, &[demand(5), demand(0)], &[0, 0], plan);
+        sim.step(&[(0, 1, 0)]).unwrap();
+        sim.step(&[(0, 1, 0)]).unwrap();
+        assert!(!sim.is_cancelled(0));
+        let out = sim.step(&[(0, 1, 0)]).unwrap();
+        assert!(sim.is_cancelled(0));
+        assert_eq!(out.dropped, vec![(0, 1, 0)]);
+        assert_eq!(sim.remaining_total(0), 0);
+        assert_eq!(sim.completion_times()[0], None, "cancelled, not completed");
+        assert!(sim.all_settled());
+    }
+
+    #[test]
+    fn cancellation_after_completion_is_a_noop() {
+        let plan = FaultPlan::new(vec![FaultEvent::CoflowCancelled { coflow: 0, at: 9 }]);
+        let mut sim = FaultSim::new(2, &[demand(1)], &[0], plan);
+        sim.step(&[(0, 1, 0)]).unwrap();
+        sim.advance_to(20);
+        assert_eq!(sim.completion_times(), &[Some(1)]);
+        assert!(!sim.is_cancelled(0));
+    }
+
+    #[test]
+    fn structural_violations_error() {
+        let mut sim = FaultSim::new(2, &[demand(2), demand(2)], &[0, 5], FaultPlan::default());
+        assert_eq!(
+            sim.step(&[(0, 1, 0), (0, 0, 1)]).unwrap_err(),
+            SimError::PortMatchedTwice { slot: 1, port: 0, ingress: true }
+        );
+        let mut sim = FaultSim::new(2, &[demand(2), demand(2)], &[0, 5], FaultPlan::default());
+        assert_eq!(
+            sim.step(&[(0, 1, 7)]).unwrap_err(),
+            SimError::UnknownCoflow { coflow: 7 }
+        );
+        let mut sim = FaultSim::new(2, &[demand(2), demand(2)], &[0, 5], FaultPlan::default());
+        assert_eq!(
+            sim.step(&[(0, 1, 1)]).unwrap_err(),
+            SimError::ReleaseViolated { slot: 1, coflow: 1, release: 5 }
+        );
+    }
+
+    #[test]
+    fn execute_trace_respects_stop_boundary() {
+        let mut trace = ScheduleTrace::new(2);
+        trace.push_run(Run {
+            start: 1,
+            duration: 4,
+            transfers: vec![Transfer { src: 0, dst: 1, coflow: 0, units: 4 }],
+        });
+        let mut sim = FaultSim::new(2, &[demand(4)], &[0], FaultPlan::default());
+        let outcomes = sim.execute_trace(&trace, Some(3)).unwrap();
+        assert_eq!(outcomes.len(), 2, "slots 1 and 2 only");
+        assert_eq!(sim.now(), 2);
+        assert_eq!(sim.remaining_total(0), 2);
+        // Resume the same trace: the done prefix is skipped.
+        let outcomes = sim.execute_trace(&trace, None).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(sim.completion_times(), &[Some(4)]);
+    }
+
+    #[test]
+    fn fully_blocked_epoch_still_advances_the_clock() {
+        let plan = FaultPlan::new(vec![FaultEvent::IngressOutage { port: 0, start: 1, end: 9 }]);
+        let mut trace = ScheduleTrace::new(2);
+        trace.push_run(Run {
+            start: 1,
+            duration: 2,
+            transfers: vec![Transfer { src: 0, dst: 1, coflow: 0, units: 2 }],
+        });
+        let mut sim = FaultSim::new(2, &[demand(2)], &[0], plan);
+        sim.execute_trace(&trace, Some(5)).unwrap();
+        assert_eq!(sim.now(), 4, "clock lands on the epoch boundary");
+        assert_eq!(sim.remaining_total(0), 2, "demand stranded");
+        assert_eq!(sim.blocked_units(), 2);
+    }
+}

@@ -14,13 +14,18 @@
 //! * [`trace_stats`] measures idle capacity, the quantity backfilling
 //!   reclaims.
 
+// Library code must justify every panic: unwraps/expects surface as clippy
+// warnings (tests and benches are exempt via the cfg gate).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod fabric;
+pub mod fault;
 pub mod render;
 pub mod stats;
 pub mod trace;
 pub mod validate;
 
 pub use fabric::{Fabric, SlotSim};
+pub use fault::{FaultEvent, FaultPlan, FaultSim, SimError, SlotOutcome};
 pub use render::render_timeline;
 pub use stats::{trace_stats, TraceStats};
 pub use trace::{Run, ScheduleTrace, Transfer};

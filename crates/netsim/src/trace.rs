@@ -42,6 +42,26 @@ impl Run {
     pub fn total_units(&self) -> u64 {
         self.transfers.iter().map(|t| t.units).sum()
     }
+
+    /// Expands the run into per-slot unit moves: element `o` lists the
+    /// `(src, dst, coflow)` units moved in slot `start + o`. Within a run
+    /// each pair serves its transfers in listed (priority) order, so the
+    /// unit at offset `o` on a pair belongs to the transfer covering that
+    /// offset; offsets past a pair's total are idle for that pair.
+    pub fn slot_moves(&self) -> Vec<Vec<(usize, usize, usize)>> {
+        let mut slots: Vec<Vec<(usize, usize, usize)>> =
+            vec![Vec::new(); self.duration as usize];
+        let mut pair_used: std::collections::HashMap<(usize, usize), u64> =
+            std::collections::HashMap::new();
+        for t in &self.transfers {
+            let used = pair_used.entry((t.src, t.dst)).or_insert(0);
+            for o in *used..*used + t.units {
+                slots[o as usize].push((t.src, t.dst, t.coflow));
+            }
+            *used += t.units;
+        }
+        slots
+    }
 }
 
 /// A complete run-length schedule for an `m × m` fabric.
@@ -83,6 +103,17 @@ impl ScheduleTrace {
     /// Total units moved by the whole schedule.
     pub fn total_units(&self) -> u64 {
         self.runs.iter().map(Run::total_units).sum()
+    }
+
+    /// Visits every scheduled slot in time order as `(slot, unit moves)`.
+    /// Idle slots between runs are skipped; idle slots *within* a run are
+    /// visited with an empty move list.
+    pub fn for_each_slot<F: FnMut(u64, &[(usize, usize, usize)])>(&self, mut f: F) {
+        for run in &self.runs {
+            for (o, moves) in run.slot_moves().iter().enumerate() {
+                f(run.start + o as u64, moves);
+            }
+        }
     }
 }
 
@@ -145,5 +176,31 @@ mod tests {
         });
         assert_eq!(t.total_units(), 3);
         assert_eq!(t.makespan(), 2);
+    }
+
+    #[test]
+    fn slot_expansion_respects_priority_order() {
+        // Pair (0,1) serves coflow 0 for 2 slots then coflow 1 for 1 slot;
+        // pair (1,0) serves coflow 2 in slot 1 only.
+        let run = Run {
+            start: 4,
+            duration: 3,
+            transfers: vec![
+                Transfer { src: 0, dst: 1, coflow: 0, units: 2 },
+                Transfer { src: 0, dst: 1, coflow: 1, units: 1 },
+                Transfer { src: 1, dst: 0, coflow: 2, units: 1 },
+            ],
+        };
+        let slots = run.slot_moves();
+        assert_eq!(slots.len(), 3);
+        assert_eq!(slots[0], vec![(0, 1, 0), (1, 0, 2)]);
+        assert_eq!(slots[1], vec![(0, 1, 0)]);
+        assert_eq!(slots[2], vec![(0, 1, 1)]);
+
+        let mut trace = ScheduleTrace::new(2);
+        trace.push_run(run);
+        let mut visited = Vec::new();
+        trace.for_each_slot(|slot, moves| visited.push((slot, moves.len())));
+        assert_eq!(visited, vec![(4, 2), (5, 1), (6, 1)]);
     }
 }

@@ -9,6 +9,9 @@
 //! crate makes the reduction executable so the two solvers can cross-check
 //! each other.
 
+// Library code must justify every panic: unwraps/expects surface as clippy
+// warnings (tests and benches are exempt via the cfg gate).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod primal_dual;
 pub mod reduction;
 pub mod schedule;
@@ -20,11 +23,9 @@ pub use schedule::{
     order_by_wspt_total, permutation_schedule, PermutationSchedule,
 };
 
-use serde::{Deserialize, Serialize};
-
 /// A concurrent open shop job: independent processing requirements on each
 /// machine, all of which must finish for the job to complete.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Job {
     /// Stable identifier.
     pub id: usize,

@@ -37,10 +37,12 @@ pub fn primal_dual_order(shop: &OpenShopInstance) -> Vec<usize> {
             .iter()
             .enumerate()
             .max_by_key(|&(_, &l)| l)
-            .expect("at least one machine");
+            .unwrap_or_else(|| unreachable!("at least one machine"));
         let j_star = if load == 0 {
             // All remaining jobs are empty: order arbitrarily (by index).
-            (0..n).find(|&j| remaining[j]).expect("a job remains")
+            (0..n)
+                .find(|&j| remaining[j])
+                .unwrap_or_else(|| unreachable!("a job remains"))
         } else {
             // Job minimizing w'_j / p_{mu j} among jobs with p > 0.
             let mut best: Option<(usize, f64)> = None;
@@ -59,7 +61,7 @@ pub fn primal_dual_order(shop: &OpenShopInstance) -> Vec<usize> {
                     _ => {}
                 }
             }
-            let (j_star, theta) = best.expect("max-load machine has a nonzero job");
+            let (j_star, theta) = best.unwrap_or_else(|| unreachable!("max-load machine has a nonzero job"));
             // Dual update: pay theta per unit of mu-processing.
             for j in 0..n {
                 if remaining[j] && j != j_star {

@@ -60,7 +60,7 @@ pub fn order_by_wspt_bottleneck(shop: &OpenShopInstance) -> Vec<usize> {
         let jb = &shop.jobs()[b];
         let ka = ja.bottleneck() as f64 / ja.weight;
         let kb = jb.bottleneck() as f64 / jb.weight;
-        ka.partial_cmp(&kb).unwrap().then(a.cmp(&b))
+        ka.total_cmp(&kb).then(a.cmp(&b))
     });
     order
 }
@@ -73,7 +73,7 @@ pub fn order_by_wspt_total(shop: &OpenShopInstance) -> Vec<usize> {
         let jb = &shop.jobs()[b];
         let ka = ja.total() as f64 / ja.weight;
         let kb = jb.total() as f64 / jb.weight;
-        ka.partial_cmp(&kb).unwrap().then(a.cmp(&b))
+        ka.total_cmp(&kb).then(a.cmp(&b))
     });
     order
 }

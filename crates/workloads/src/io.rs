@@ -1,9 +1,14 @@
-//! Trace serialization: JSON (via serde) and a simple CSV flow listing.
+//! Trace serialization: JSON (hand-rolled, see [`crate::json`]) and a
+//! simple CSV flow listing.
 //!
 //! The CSV format is one flow per line — `coflow_id,src,dst,mb,release,
 //! weight` — the shape cluster traces are usually published in, so real
-//! traces can be dropped in without code changes.
+//! traces can be dropped in without code changes. Malformed rows are
+//! rejected with a [`TraceError`] carrying the line number and offending
+//! field.
 
+use crate::error::TraceError;
+use crate::json::{self, JsonValue};
 use coflow::{Coflow, CoflowRecord, Instance};
 use coflow_matching::IntMatrix;
 use std::collections::BTreeMap;
@@ -11,17 +16,169 @@ use std::collections::BTreeMap;
 /// Accumulator for one coflow while parsing CSV: `(flows, release, weight)`.
 type CsvCoflow = (Vec<(usize, usize, u64)>, u64, f64);
 
-/// Serializes an instance to pretty JSON.
+/// Serializes an instance to pretty JSON: `[ports, [record, ...]]` where
+/// each record is `{"id", "m", "flows": [[src, dst, units], ...],
+/// "release", "weight"}`.
 pub fn to_json(instance: &Instance) -> String {
-    let records: Vec<CoflowRecord> = instance.coflows().iter().map(CoflowRecord::from).collect();
-    serde_json::to_string_pretty(&(instance.ports(), records)).expect("serialization cannot fail")
+    let mut out = String::new();
+    out.push_str(&format!("[\n  {},\n  [", instance.ports()));
+    for (idx, c) in instance.coflows().iter().enumerate() {
+        let rec = CoflowRecord::from(c);
+        if idx > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"id\": {}, \"m\": {}, \"flows\": [", rec.id, rec.m));
+        for (fi, (i, j, u)) in rec.flows.iter().enumerate() {
+            if fi > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("[{}, {}, {}]", i, j, u));
+        }
+        out.push_str(&format!(
+            "], \"release\": {}, \"weight\": {}}}",
+            rec.release,
+            json::fmt_f64(rec.weight)
+        ));
+    }
+    out.push_str("\n  ]\n]\n");
+    out
+}
+
+/// Extracts a nonnegative integer field from a JSON record.
+fn json_uint(v: &JsonValue, line: usize, field: &str) -> Result<u64, TraceError> {
+    match v {
+        JsonValue::Num(lexeme) => lexeme.parse::<u64>().map_err(|_| TraceError::BadField {
+            line,
+            field: field.to_string(),
+            value: lexeme.clone(),
+            message: "expected a nonnegative integer".to_string(),
+        }),
+        other => Err(TraceError::BadField {
+            line,
+            field: field.to_string(),
+            value: other.kind().to_string(),
+            message: "expected a number".to_string(),
+        }),
+    }
+}
+
+/// Looks up `field` in a record object (line 1 reported for missing keys —
+/// the document is machine-written, so per-record line tracking stops at
+/// parse time).
+fn json_field<'v>(
+    record: &'v JsonValue,
+    field: &str,
+    record_idx: usize,
+) -> Result<&'v JsonValue, TraceError> {
+    record.get(field).ok_or_else(|| TraceError::Syntax {
+        line: 1,
+        message: format!("record {}: missing field '{}'", record_idx, field),
+    })
 }
 
 /// Parses an instance from [`to_json`] output.
-pub fn from_json(s: &str) -> Result<Instance, String> {
-    let (ports, records): (usize, Vec<CoflowRecord>) =
-        serde_json::from_str(s).map_err(|e| e.to_string())?;
-    let coflows: Vec<Coflow> = records.iter().map(Coflow::from).collect();
+pub fn from_json(s: &str) -> Result<Instance, TraceError> {
+    let doc = json::parse(s)?;
+    let JsonValue::Arr(top) = &doc else {
+        return Err(TraceError::Syntax {
+            line: 1,
+            message: format!("expected top-level array, found {}", doc.kind()),
+        });
+    };
+    if top.len() != 2 {
+        return Err(TraceError::Syntax {
+            line: 1,
+            message: format!("expected [ports, records], found {} elements", top.len()),
+        });
+    }
+    let ports = json_uint(&top[0], 1, "ports")? as usize;
+    let JsonValue::Arr(records) = &top[1] else {
+        return Err(TraceError::Syntax {
+            line: 1,
+            message: format!("expected records array, found {}", top[1].kind()),
+        });
+    };
+    let mut coflows = Vec::with_capacity(records.len());
+    for (ri, record) in records.iter().enumerate() {
+        if !matches!(record, JsonValue::Obj(_)) {
+            return Err(TraceError::Syntax {
+                line: 1,
+                message: format!("record {}: expected object, found {}", ri, record.kind()),
+            });
+        }
+        let id = json_uint(json_field(record, "id", ri)?, 1, "id")? as usize;
+        let m = json_uint(json_field(record, "m", ri)?, 1, "m")? as usize;
+        let release = json_uint(json_field(record, "release", ri)?, 1, "release")?;
+        let weight = match json_field(record, "weight", ri)? {
+            JsonValue::Num(lexeme) => {
+                let w = lexeme.parse::<f64>().map_err(|_| TraceError::BadField {
+                    line: 1,
+                    field: "weight".to_string(),
+                    value: lexeme.clone(),
+                    message: "expected a number".to_string(),
+                })?;
+                if !(w > 0.0 && w.is_finite()) {
+                    return Err(TraceError::BadField {
+                        line: 1,
+                        field: "weight".to_string(),
+                        value: lexeme.clone(),
+                        message: "weights must be positive and finite".to_string(),
+                    });
+                }
+                w
+            }
+            other => {
+                return Err(TraceError::BadField {
+                    line: 1,
+                    field: "weight".to_string(),
+                    value: other.kind().to_string(),
+                    message: "expected a number".to_string(),
+                })
+            }
+        };
+        let JsonValue::Arr(flows) = json_field(record, "flows", ri)? else {
+            return Err(TraceError::Syntax {
+                line: 1,
+                message: format!("record {}: 'flows' is not an array", ri),
+            });
+        };
+        let mut rec_flows = Vec::with_capacity(flows.len());
+        for flow in flows {
+            let JsonValue::Arr(triple) = flow else {
+                return Err(TraceError::Syntax {
+                    line: 1,
+                    message: format!("record {}: flow entry is not an array", ri),
+                });
+            };
+            if triple.len() != 3 {
+                return Err(TraceError::Syntax {
+                    line: 1,
+                    message: format!(
+                        "record {}: flow entry has {} elements (expected 3)",
+                        ri,
+                        triple.len()
+                    ),
+                });
+            }
+            let src = json_uint(&triple[0], 1, "src")? as usize;
+            let dst = json_uint(&triple[1], 1, "dst")? as usize;
+            let units = json_uint(&triple[2], 1, "mb")?;
+            for (field, value) in [("src", src), ("dst", dst)] {
+                if value >= m.min(ports) {
+                    return Err(TraceError::PortRange {
+                        line: 1,
+                        field: field.to_string(),
+                        value,
+                        ports: m.min(ports),
+                    });
+                }
+            }
+            rec_flows.push((src, dst, units));
+        }
+        let rec = CoflowRecord { id, m, flows: rec_flows, release, weight };
+        coflows.push(Coflow::from(&rec));
+    }
     Ok(Instance::new(ports, coflows))
 }
 
@@ -43,7 +200,7 @@ pub fn to_csv(instance: &Instance) -> String {
 /// Parses an instance from CSV produced by [`to_csv`] (or any file in the
 /// same format). `ports` must be at least one larger than the largest port
 /// index referenced.
-pub fn from_csv(ports: usize, s: &str) -> Result<Instance, String> {
+pub fn from_csv(ports: usize, s: &str) -> Result<Instance, TraceError> {
     // coflow id -> (flows, release, weight)
     let mut map: BTreeMap<usize, CsvCoflow> = BTreeMap::new();
     for (lineno, line) in s.lines().enumerate() {
@@ -53,26 +210,57 @@ pub fn from_csv(ports: usize, s: &str) -> Result<Instance, String> {
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 6 {
-            return Err(format!("line {}: expected 6 fields", lineno + 1));
+            return Err(TraceError::Syntax {
+                line: lineno + 1,
+                message: format!("expected 6 fields, found {}", fields.len()),
+            });
         }
         let parse_usize = |f: &str, what: &str| {
-            f.parse::<usize>()
-                .map_err(|_| format!("line {}: bad {}", lineno + 1, what))
+            f.parse::<usize>().map_err(|_| TraceError::BadField {
+                line: lineno + 1,
+                field: what.to_string(),
+                value: f.to_string(),
+                message: "expected a nonnegative integer".to_string(),
+            })
         };
         let id = parse_usize(fields[0], "coflow_id")?;
         let src = parse_usize(fields[1], "src")?;
         let dst = parse_usize(fields[2], "dst")?;
-        let mb = fields[3]
-            .parse::<u64>()
-            .map_err(|_| format!("line {}: bad mb", lineno + 1))?;
-        let release = fields[4]
-            .parse::<u64>()
-            .map_err(|_| format!("line {}: bad release", lineno + 1))?;
-        let weight = fields[5]
-            .parse::<f64>()
-            .map_err(|_| format!("line {}: bad weight", lineno + 1))?;
-        if src >= ports || dst >= ports {
-            return Err(format!("line {}: port out of range", lineno + 1));
+        let mb = fields[3].parse::<u64>().map_err(|_| TraceError::BadField {
+            line: lineno + 1,
+            field: "mb".to_string(),
+            value: fields[3].to_string(),
+            message: "expected a nonnegative integer".to_string(),
+        })?;
+        let release = fields[4].parse::<u64>().map_err(|_| TraceError::BadField {
+            line: lineno + 1,
+            field: "release".to_string(),
+            value: fields[4].to_string(),
+            message: "expected a nonnegative integer".to_string(),
+        })?;
+        let weight = fields[5].parse::<f64>().map_err(|_| TraceError::BadField {
+            line: lineno + 1,
+            field: "weight".to_string(),
+            value: fields[5].to_string(),
+            message: "expected a number".to_string(),
+        })?;
+        if !(weight > 0.0 && weight.is_finite()) {
+            return Err(TraceError::BadField {
+                line: lineno + 1,
+                field: "weight".to_string(),
+                value: fields[5].to_string(),
+                message: "weights must be positive and finite".to_string(),
+            });
+        }
+        for (field, value) in [("src", src), ("dst", dst)] {
+            if value >= ports {
+                return Err(TraceError::PortRange {
+                    line: lineno + 1,
+                    field: field.to_string(),
+                    value,
+                    ports,
+                });
+            }
         }
         let entry = map.entry(id).or_insert_with(|| (Vec::new(), release, weight));
         entry.0.push((src, dst, mb));
@@ -127,6 +315,70 @@ mod tests {
         assert!(from_csv(4, "coflow_id,src,dst,mb,release,weight\n1,2\n").is_err());
         assert!(from_csv(4, "0,9,0,5,0,1.0\n").is_err()); // port out of range
         assert!(from_csv(4, "0,1,0,xyz,0,1.0\n").is_err());
+    }
+
+    #[test]
+    fn csv_errors_carry_line_and_field() {
+        // Row 3 (after the header) has a non-numeric `mb` field.
+        let csv = "coflow_id,src,dst,mb,release,weight\n0,1,2,5,0,1.0\n0,2,1,oops,0,1.0\n";
+        let err = from_csv(4, csv).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::BadField {
+                line: 3,
+                field: "mb".to_string(),
+                value: "oops".to_string(),
+                message: "expected a nonnegative integer".to_string(),
+            }
+        );
+        assert!(err.to_string().contains("line 3"), "{}", err);
+        assert!(err.to_string().contains("mb"), "{}", err);
+
+        let err = from_csv(4, "0,1,2,5,0,1.0\n0,7,1,2,0,1.0\n").unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::PortRange {
+                line: 2,
+                field: "src".to_string(),
+                value: 7,
+                ports: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn corrupt_json_trace_file_is_rejected() {
+        let inst = generate_trace(&TraceConfig::small(4));
+        let json = to_json(&inst);
+
+        // Structural corruption: truncate mid-document.
+        let truncated = &json[..json.len() / 2];
+        assert!(matches!(
+            from_json(truncated),
+            Err(TraceError::Syntax { .. })
+        ));
+
+        // Field corruption: negative src index in a flow triple.
+        let corrupted = json.replacen("\"flows\": [[", "\"flows\": [[-", 1);
+        if corrupted != json {
+            let err = from_json(&corrupted).unwrap_err();
+            assert!(
+                matches!(err, TraceError::BadField { ref field, .. } if field == "src"),
+                "{}",
+                err
+            );
+        }
+
+        // Semantic corruption: zero weight.
+        let corrupted = json.replacen("\"weight\": 1", "\"weight\": 0", 1);
+        if corrupted != json {
+            let err = from_json(&corrupted).unwrap_err();
+            assert!(
+                matches!(err, TraceError::BadField { ref field, .. } if field == "weight"),
+                "{}",
+                err
+            );
+        }
     }
 
     #[test]

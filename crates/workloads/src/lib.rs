@@ -8,12 +8,19 @@
 //! ([`distributions`]), and JSON/CSV trace I/O ([`io`]) so real traces can
 //! be substituted when available.
 
+// Library code must justify every panic: unwraps/expects surface as clippy
+// warnings (tests and benches are exempt via the cfg gate).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod distributions;
+pub mod error;
 pub mod facebook;
 pub mod filters;
 pub mod io;
+pub mod json;
 pub mod stats;
 pub mod synthetic;
+
+pub use error::TraceError;
 
 pub use facebook::{generate_trace, TraceConfig, FACEBOOK_RACKS};
 pub use filters::{assign_weights, filter_by_width, WeightScheme};

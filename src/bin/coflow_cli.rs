@@ -166,21 +166,26 @@ fn main() {
     }
 
     if args.emit_json {
-        let report: Vec<_> = instance
+        // Shape: [objective, makespan, [[coflow_id, completion_slot], ...]]
+        let mut out = String::new();
+        out.push_str(&format!(
+            "[\n  {:?},\n  {},\n  [",
+            outcome.objective,
+            outcome.makespan()
+        ));
+        for (idx, (c, &t)) in instance
             .coflows()
             .iter()
             .zip(&outcome.completions)
-            .map(|(c, &t)| (c.id, t))
-            .collect();
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&(
-                outcome.objective,
-                outcome.makespan(),
-                report
-            ))
-            .expect("serialize")
-        );
+            .enumerate()
+        {
+            if idx > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    [{}, {}]", c.id, t));
+        }
+        out.push_str("\n  ]\n]");
+        println!("{}", out);
     } else {
         println!("total weighted completion time: {:.1}", outcome.objective);
         println!("makespan: {} slots", outcome.makespan());
