@@ -2,7 +2,17 @@
 //!
 //! ```text
 //! experiments [table1|fig2a|fig2b|lpexp|ratios|all] [--seed N]
+//! experiments profile [--out PATH] [--trace PATH] [--baseline PATH]
+//!                     [--tolerance F] [--full] [--seed N]
 //! ```
+//!
+//! `profile` runs the 12-cell grid with the `obs` registry enabled and
+//! writes a per-stage timing/counter report (`BENCH_grid.json`, schema
+//! `coflow-bench-grid/1`). With `--baseline` it diffs against a committed
+//! report and exits 1 on a per-stage regression beyond `--tolerance`
+//! (default 0.2 = +20%); `--trace` additionally writes a chrome://tracing
+//! view of the last cell; `--full` profiles the paper's 150-port fabric
+//! instead of the default reduced scale.
 //!
 //! Table 1 and the figures run on the synthetic Facebook-like trace at the
 //! documented reduced scale; `lpexp` runs on a further reduced instance
@@ -20,18 +30,46 @@ use coflow_bench::report::{
 };
 use coflow_workloads::{assign_weights, generate_trace, TraceConfig, WeightScheme};
 
+/// Options of the `profile` subcommand.
+struct ProfileArgs {
+    out: String,
+    trace: Option<String>,
+    baseline: Option<String>,
+    tolerance: f64,
+    full: bool,
+}
+
+impl Default for ProfileArgs {
+    fn default() -> Self {
+        ProfileArgs {
+            out: "BENCH_grid.json".to_string(),
+            trace: None,
+            baseline: None,
+            tolerance: 0.2,
+            full: false,
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_string();
     let mut seed: u64 = 2015;
+    let mut profile_args = ProfileArgs::default();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
+        let mut value_of = |flag: &str| -> String {
+            match iter.next() {
+                Some(v) => v.clone(),
+                None => {
+                    eprintln!("error: {} needs a value", flag);
+                    std::process::exit(2);
+                }
+            }
+        };
         match a.as_str() {
             "--seed" => {
-                let Some(value) = iter.next() else {
-                    eprintln!("error: --seed needs a value");
-                    std::process::exit(2);
-                };
+                let value = value_of("--seed");
                 seed = match value.parse() {
                     Ok(s) => s,
                     Err(_) => {
@@ -40,6 +78,20 @@ fn main() {
                     }
                 };
             }
+            "--out" => profile_args.out = value_of("--out"),
+            "--trace" => profile_args.trace = Some(value_of("--trace")),
+            "--baseline" => profile_args.baseline = Some(value_of("--baseline")),
+            "--tolerance" => {
+                let value = value_of("--tolerance");
+                profile_args.tolerance = match value.parse() {
+                    Ok(t) => t,
+                    Err(_) => {
+                        eprintln!("error: --tolerance must be a number, got '{}'", value);
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--full" => profile_args.full = true,
             other => which = other.to_string(),
         }
     }
@@ -54,6 +106,7 @@ fn main() {
         "integrality" => integrality(seed),
         "arrivals" => arrivals(seed),
         "faults" => faults(seed),
+        "profile" => profile(seed, &profile_args),
         "all" => {
             table1(seed);
             fig2a(seed);
@@ -67,10 +120,99 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{}'; expected table1|fig2a|fig2b|lpexp|ratios|gridsweep|integrality|arrivals|faults|all",
+                "unknown experiment '{}'; expected table1|fig2a|fig2b|lpexp|ratios|gridsweep|integrality|arrivals|faults|profile|all",
                 other
             );
             std::process::exit(2);
+        }
+    }
+}
+
+fn profile(seed: u64, args: &ProfileArgs) {
+    use coflow_bench::profile::{compare_reports, render_json, render_profile, run_profile};
+
+    let cfg = if args.full {
+        // The paper's 150-rack cluster; solver budgets keep the H_LP cells
+        // bounded (falling back would abort the profile, so the budgets are
+        // generous).
+        TraceConfig {
+            ports: 150,
+            num_coflows: 100,
+            seed,
+            flow_size_mu: 1.9,
+            flow_size_sigma: 1.1,
+            max_flow_size: 512,
+            coflow_scale_sigma: 1.8,
+            fanout_alpha: 0.7,
+            ..TraceConfig::default()
+        }
+    } else {
+        paper_scale_config(seed)
+    };
+    trace_banner(&cfg);
+    let inst = assign_weights(
+        &generate_trace(&cfg),
+        WeightScheme::RandomPermutation { seed },
+    );
+    let lp_opts = SimplexOptions {
+        max_iterations: 400_000,
+        time_limit_ms: Some(120_000),
+        stall_window: Some(40_000),
+        ..SimplexOptions::default()
+    };
+    let report = run_profile(&inst, seed, &lp_opts);
+    print!("{}", render_profile(&report));
+
+    if let Some(trace_path) = &args.trace {
+        // The registry still holds the last cell's events.
+        if let Err(e) = obs::write_chrome_trace(trace_path) {
+            eprintln!("error: writing chrome trace: {}", e);
+            std::process::exit(1);
+        }
+        println!("# chrome trace (last cell) written to {}", trace_path);
+    }
+
+    let rendered = render_json(&report);
+    if let Err(e) = std::fs::write(&args.out, &rendered) {
+        eprintln!("error: writing {}: {}", args.out, e);
+        std::process::exit(1);
+    }
+    println!("# per-stage report written to {}", args.out);
+
+    if let Some(baseline_path) = &args.baseline {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: reading baseline {}: {}", baseline_path, e);
+                std::process::exit(1);
+            }
+        };
+        let deltas = match compare_reports(&baseline, &rendered, args.tolerance) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: comparing against baseline: {}", e);
+                std::process::exit(1);
+            }
+        };
+        let mut regressed = false;
+        println!(
+            "# baseline comparison vs {} (tolerance +{:.0}%):",
+            baseline_path,
+            args.tolerance * 100.0
+        );
+        for d in &deltas {
+            println!(
+                "#   {:<10} {:>10.2} ms -> {:>10.2} ms  {}",
+                d.stage,
+                d.baseline_ms,
+                d.current_ms,
+                if d.regressed { "REGRESSED" } else { "ok" }
+            );
+            regressed |= d.regressed;
+        }
+        if regressed {
+            eprintln!("error: per-stage regression beyond tolerance");
+            std::process::exit(1);
         }
     }
 }

@@ -9,6 +9,8 @@
 //! * [`lowerbound`] — the §4.2 LP-EXP near-optimality certificate;
 //! * [`ratios`] — measured approximation ratios against the exact optimum
 //!   on tiny instances (validating Theorems 1–2 empirically);
+//! * [`profile`] — per-stage timing/counter profile of the grid
+//!   (`BENCH_grid.json`, baseline regression checks);
 //! * [`report`] — plain-text table rendering.
 
 pub mod arrivals;
@@ -18,6 +20,7 @@ pub mod grid;
 pub mod gridsweep;
 pub mod integrality;
 pub mod lowerbound;
+pub mod profile;
 pub mod ratios;
 pub mod report;
 pub mod table1;

@@ -1,0 +1,432 @@
+//! Per-stage performance profile of the 12-cell experiment grid.
+//!
+//! Runs every cell of the §4.1 grid (orders {H_A, H_ρ, H_LP} × cases
+//! {a, b, c, d}) with the `obs` registry enabled and reports, per cell,
+//! the wall-clock spent in each pipeline stage plus the solver/matching
+//! counters. The report serializes to `BENCH_grid.json` (schema
+//! `coflow-bench-grid/1`, documented in DESIGN.md) and a committed
+//! baseline can be diffed against a fresh run to catch per-stage
+//! regressions (`scripts/bench-baseline.sh`).
+//!
+//! Cells run sequentially — the registry is global, and a per-cell
+//! `reset()`/`snapshot()` window is what makes the attribution exact.
+
+use coflow::ordering::{try_compute_order_with, OrderRule};
+use coflow::sched::run_with_order;
+use coflow::Instance;
+use coflow_lp::SimplexOptions;
+use coflow_workloads::json::{self, fmt_f64, JsonValue};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crate::grid::{case_label, CASES};
+
+/// Schema tag written into every report; bump on breaking layout changes.
+pub const SCHEMA: &str = "coflow-bench-grid/1";
+
+/// The pipeline stages extracted from span leaf names, in report order.
+/// `decompose` sums the greedy and max-min BvN variants.
+pub const STAGES: [&str; 6] = [
+    "lp_build",
+    "lp_solve",
+    "order",
+    "decompose",
+    "simulate",
+    "total",
+];
+
+/// Per-stage wall-clock of one cell, milliseconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimings {
+    /// Interval-LP model construction (`lp.build_model`).
+    pub lp_build_ms: f64,
+    /// Simplex solves (`lp.solve`).
+    pub lp_solve_ms: f64,
+    /// Ordering stage end to end (`sched.order`, includes the LP for H_LP).
+    pub order_ms: f64,
+    /// BvN decompositions (`matching.bvn_decompose[_maxmin]`).
+    pub decompose_ms: f64,
+    /// Switch simulation (`sched.simulate`).
+    pub simulate_ms: f64,
+    /// Whole cell, measured directly around order + schedule.
+    pub total_ms: f64,
+}
+
+impl StageTimings {
+    /// Stage value by report name ([`STAGES`]).
+    pub fn get(&self, stage: &str) -> f64 {
+        match stage {
+            "lp_build" => self.lp_build_ms,
+            "lp_solve" => self.lp_solve_ms,
+            "order" => self.order_ms,
+            "decompose" => self.decompose_ms,
+            "simulate" => self.simulate_ms,
+            "total" => self.total_ms,
+            other => panic!("unknown stage '{}'", other),
+        }
+    }
+}
+
+/// One profiled grid cell.
+#[derive(Clone, Debug)]
+pub struct ProfiledCell {
+    /// Ordering rule (paper name, e.g. `H_LP`).
+    pub order: OrderRule,
+    /// Grouping flag.
+    pub grouping: bool,
+    /// Backfilling flag.
+    pub backfill: bool,
+    /// Total weighted completion time of the produced schedule.
+    pub objective: f64,
+    /// Schedule makespan.
+    pub makespan: u64,
+    /// Per-stage wall-clock.
+    pub stages: StageTimings,
+    /// Every counter the cell recorded, sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// A full profile run: instance parameters plus one entry per grid cell.
+#[derive(Clone, Debug)]
+pub struct ProfileReport {
+    /// Trace seed.
+    pub seed: u64,
+    /// Fabric size (ports).
+    pub ports: usize,
+    /// Number of coflows in the trace.
+    pub coflows: usize,
+    /// The 12 profiled cells, in rule-major order.
+    pub cells: Vec<ProfiledCell>,
+}
+
+/// Profiles the full 12-cell grid on `instance`.
+///
+/// Each cell gets a fresh registry window (`obs::reset` + enable), runs
+/// ordering and scheduling sequentially, and snapshots its stage spans and
+/// counters. Recording is left disabled afterwards.
+pub fn run_profile(
+    instance: &Instance,
+    seed: u64,
+    lp_opts: &SimplexOptions,
+) -> ProfileReport {
+    let mut cells = Vec::with_capacity(OrderRule::PAPER_RULES.len() * CASES.len());
+    for &rule in &OrderRule::PAPER_RULES {
+        for &(grouping, backfill) in &CASES {
+            obs::reset();
+            obs::set_enabled(true);
+            let cell_start = Instant::now();
+            let order = match try_compute_order_with(instance, rule, lp_opts) {
+                Ok(order) => order,
+                Err(e) => panic!("profile: {:?} order failed: {}", rule, e),
+            };
+            let outcome = run_with_order(instance, order, grouping, backfill);
+            let total_ms = cell_start.elapsed().as_secs_f64() * 1e3;
+            let snap = obs::snapshot();
+            obs::set_enabled(false);
+            cells.push(ProfiledCell {
+                order: rule,
+                grouping,
+                backfill,
+                objective: outcome.objective,
+                makespan: outcome.makespan(),
+                stages: StageTimings {
+                    lp_build_ms: snap.span_total_ms("lp.build_model"),
+                    lp_solve_ms: snap.span_total_ms("lp.solve"),
+                    order_ms: snap.span_total_ms("sched.order"),
+                    decompose_ms: snap.span_total_ms("matching.bvn_decompose")
+                        + snap.span_total_ms("matching.bvn_decompose_maxmin"),
+                    simulate_ms: snap.span_total_ms("sched.simulate"),
+                    total_ms,
+                },
+                counters: {
+                    let mut counters = snap.counters;
+                    // Zero-delta counters are never registered (e.g. a
+                    // presolve pass that eliminates nothing), but the
+                    // report schema promises these keys in every cell.
+                    for required in REQUIRED_COUNTERS {
+                        counters.entry(required.to_string()).or_insert(0);
+                    }
+                    counters.into_iter().collect()
+                },
+            });
+        }
+    }
+    ProfileReport {
+        seed,
+        ports: instance.ports(),
+        coflows: instance.len(),
+        cells,
+    }
+}
+
+/// Serializes `report` as `coflow-bench-grid/1` JSON.
+pub fn render_json(report: &ProfileReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", json::quote(SCHEMA));
+    let _ = writeln!(out, "  \"seed\": {},", report.seed);
+    let _ = writeln!(out, "  \"ports\": {},", report.ports);
+    let _ = writeln!(out, "  \"coflows\": {},", report.coflows);
+    out.push_str("  \"cells\": [\n");
+    for (idx, cell) in report.cells.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"order\": {},", json::quote(cell.order.name()));
+        let _ = writeln!(
+            out,
+            "      \"case\": {},",
+            json::quote(case_label(cell.grouping, cell.backfill))
+        );
+        let _ = writeln!(out, "      \"grouping\": {},", cell.grouping);
+        let _ = writeln!(out, "      \"backfill\": {},", cell.backfill);
+        let _ = writeln!(out, "      \"objective\": {},", fmt_f64(cell.objective));
+        let _ = writeln!(out, "      \"makespan\": {},", cell.makespan);
+        out.push_str("      \"stages_ms\": {");
+        for (i, stage) in STAGES.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{}: {}",
+                json::quote(stage),
+                fmt_f64(cell.stages.get(stage))
+            );
+        }
+        out.push_str("},\n");
+        out.push_str("      \"counters\": {");
+        for (i, (name, value)) in cell.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {}", json::quote(name), value);
+        }
+        out.push_str("}\n");
+        out.push_str(if idx + 1 < report.cells.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn num_f64(v: &JsonValue) -> Option<f64> {
+    match v {
+        JsonValue::Num(s) => s.parse().ok(),
+        _ => None,
+    }
+}
+
+/// Per-stage totals (sum over cells) of a parsed report, keyed by stage.
+fn stage_sums(doc: &JsonValue) -> Result<Vec<(String, f64)>, String> {
+    let Some(JsonValue::Arr(cells)) = doc.get("cells") else {
+        return Err("report has no 'cells' array".to_string());
+    };
+    if cells.is_empty() {
+        return Err("report has no cells".to_string());
+    }
+    let mut sums: Vec<(String, f64)> =
+        STAGES.iter().map(|s| (s.to_string(), 0.0)).collect();
+    for cell in cells {
+        let Some(stages) = cell.get("stages_ms") else {
+            return Err("cell has no 'stages_ms' object".to_string());
+        };
+        for (name, sum) in sums.iter_mut() {
+            let value = stages
+                .get(name)
+                .and_then(num_f64)
+                .ok_or_else(|| format!("stage '{}' missing or non-numeric", name))?;
+            *sum += value;
+        }
+    }
+    Ok(sums)
+}
+
+/// One per-stage comparison row from [`compare_reports`].
+#[derive(Clone, Debug)]
+pub struct StageDelta {
+    /// Stage name.
+    pub stage: String,
+    /// Baseline total across cells, ms.
+    pub baseline_ms: f64,
+    /// Current total across cells, ms.
+    pub current_ms: f64,
+    /// True when this stage breaches the tolerance.
+    pub regressed: bool,
+}
+
+/// Wall-clock noise floor: stages faster than this in both runs are never
+/// flagged, whatever the ratio — a 0.2 ms → 0.5 ms blip is not a
+/// regression signal on shared hardware.
+pub const ABS_FLOOR_MS: f64 = 10.0;
+
+/// Counter keys the report guarantees in every cell, zero-filled when the
+/// cell never touched them (H_A/H_ρ cells solve no LP; a presolve pass may
+/// eliminate nothing).
+pub const REQUIRED_COUNTERS: [&str; 4] = [
+    "lp.simplex.pivots",
+    "lp.presolve.rows_removed",
+    "matching.bvn.permutations",
+    "netsim.fabric.slots",
+];
+
+/// Compares two serialized reports stage by stage (totals across cells).
+/// A stage regresses when the current total exceeds the baseline by more
+/// than `tolerance` (fractional, e.g. 0.2 = +20%) *and* the absolute
+/// difference clears [`ABS_FLOOR_MS`].
+pub fn compare_reports(
+    baseline: &str,
+    current: &str,
+    tolerance: f64,
+) -> Result<Vec<StageDelta>, String> {
+    let base_doc = json::parse(baseline).map_err(|e| format!("baseline: {}", e))?;
+    let cur_doc = json::parse(current).map_err(|e| format!("current: {}", e))?;
+    for (label, doc) in [("baseline", &base_doc), ("current", &cur_doc)] {
+        match doc.get("schema") {
+            Some(JsonValue::Str(s)) if s == SCHEMA => {}
+            other => {
+                return Err(format!(
+                    "{}: unsupported schema {:?} (expected {})",
+                    label, other, SCHEMA
+                ))
+            }
+        }
+    }
+    let base = stage_sums(&base_doc).map_err(|e| format!("baseline: {}", e))?;
+    let cur = stage_sums(&cur_doc).map_err(|e| format!("current: {}", e))?;
+    Ok(base
+        .into_iter()
+        .zip(cur)
+        .map(|((stage, baseline_ms), (_, current_ms))| {
+            let regressed = current_ms > baseline_ms * (1.0 + tolerance)
+                && current_ms - baseline_ms > ABS_FLOOR_MS;
+            StageDelta {
+                stage,
+                baseline_ms,
+                current_ms,
+                regressed,
+            }
+        })
+        .collect())
+}
+
+/// Plain-text table of a profile run (stderr-friendly progress report).
+pub fn render_profile(report: &ProfileReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== profile: {} ports, {} coflows, seed {} ==",
+        report.ports, report.coflows, report.seed
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:<4} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "order", "case", "objective", "lp_build", "lp_solve", "order", "decomp", "simulate", "total"
+    );
+    for c in &report.cells {
+        let _ = writeln!(
+            out,
+            "{:<6} {:<4} {:>12.0} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            c.order.name(),
+            case_label(c.grouping, c.backfill),
+            c.objective,
+            c.stages.lp_build_ms,
+            c.stages.lp_solve_ms,
+            c.stages.order_ms,
+            c.stages.decompose_ms,
+            c.stages.simulate_ms,
+            c.stages.total_ms,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coflow_workloads::{generate_trace, TraceConfig};
+
+    fn tiny_report() -> ProfileReport {
+        let inst = generate_trace(&TraceConfig::small(7));
+        run_profile(&inst, 7, &SimplexOptions::default())
+    }
+
+    #[test]
+    fn profile_covers_all_twelve_cells_with_required_counters() {
+        let report = tiny_report();
+        assert_eq!(report.cells.len(), 12);
+        for cell in &report.cells {
+            assert!(cell.stages.total_ms > 0.0);
+            let counter = |name: &str| {
+                cell.counters
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|&(_, v)| v)
+            };
+            // The schema-promised keys are present in every cell, even
+            // where the underlying counter never fired.
+            for required in REQUIRED_COUNTERS {
+                assert!(
+                    counter(required).is_some(),
+                    "cell missing required counter {}",
+                    required
+                );
+            }
+            // Every cell decomposes and simulates.
+            assert!(counter("matching.bvn.permutations").unwrap_or(0) > 0);
+            assert!(counter("netsim.fabric.slots").unwrap_or(0) > 0);
+            if cell.order == OrderRule::LpBased {
+                assert!(
+                    counter("lp.simplex.pivots").unwrap_or(0) > 0,
+                    "H_LP cells must record simplex pivots"
+                );
+                assert!(cell.stages.lp_solve_ms > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips_and_self_compares_clean() {
+        let report = tiny_report();
+        let rendered = render_json(&report);
+        let doc = json::parse(&rendered).expect("profile JSON must parse");
+        assert_eq!(
+            doc.get("schema"),
+            Some(&JsonValue::Str(SCHEMA.to_string()))
+        );
+        let Some(JsonValue::Arr(cells)) = doc.get("cells") else {
+            panic!("cells array missing");
+        };
+        assert_eq!(cells.len(), 12);
+        // A report never regresses against itself.
+        let deltas = compare_reports(&rendered, &rendered, 0.2).expect("compare");
+        assert_eq!(deltas.len(), STAGES.len());
+        assert!(deltas.iter().all(|d| !d.regressed));
+    }
+
+    #[test]
+    fn comparison_flags_large_slow_stages_only() {
+        let report = tiny_report();
+        let baseline = render_json(&report);
+        let mut slowed = report.clone();
+        for cell in &mut slowed.cells {
+            cell.stages.simulate_ms = cell.stages.simulate_ms * 10.0 + 50.0;
+            cell.stages.total_ms += 50.0;
+        }
+        let current = render_json(&slowed);
+        let deltas = compare_reports(&baseline, &current, 0.2).expect("compare");
+        let sim = deltas.iter().find(|d| d.stage == "simulate").unwrap();
+        assert!(sim.regressed, "10x + 50ms/cell must breach 20%+floor");
+        // Sub-floor stages stay green even at huge ratios.
+        let lp = deltas.iter().find(|d| d.stage == "lp_build").unwrap();
+        assert!(!lp.regressed);
+    }
+
+    #[test]
+    fn comparison_rejects_foreign_schemas() {
+        let report = render_json(&tiny_report());
+        let err = compare_reports("{\"schema\": \"other/9\", \"cells\": []}", &report, 0.2);
+        assert!(err.is_err());
+    }
+}

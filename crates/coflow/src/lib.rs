@@ -62,7 +62,7 @@ pub use crate::sched::recovery::{
     run_with_faults, run_with_faults_strict, verify_faulty_outcome, FaultyOutcome,
 };
 pub use crate::sched::resilient::{
-    fallback_chain, run_resilient, run_resilient_chain, ResilientOutcome,
+    fallback_chain, run_resilient, run_resilient_chain, FailedAttempt, ResilientOutcome,
 };
 pub use crate::sched::{
     run, run_randomized, run_with_order, run_with_order_ext, run_with_order_grid,

@@ -58,6 +58,11 @@ impl OrderRule {
 /// Computes the coflow order under `rule`. Ties break by coflow index, so
 /// every rule yields a deterministic permutation of `0..n`.
 pub fn compute_order(instance: &Instance, rule: OrderRule) -> Vec<usize> {
+    let _span = obs::span("sched.order");
+    compute_order_inner(instance, rule)
+}
+
+fn compute_order_inner(instance: &Instance, rule: OrderRule) -> Vec<usize> {
     let n = instance.len();
     let mut order: Vec<usize> = (0..n).collect();
     match rule {
@@ -107,6 +112,7 @@ pub fn try_compute_order_with(
     rule: OrderRule,
     lp_opts: &SimplexOptions,
 ) -> Result<Vec<usize>, SchedError> {
+    let _span = obs::span("sched.order");
     match rule {
         OrderRule::LpBased => match try_solve_interval_lp_with(instance, lp_opts) {
             Ok(lp) => Ok(lp.order),
@@ -115,7 +121,7 @@ pub fn try_compute_order_with(
                 source,
             }),
         },
-        _ => Ok(compute_order(instance, rule)),
+        _ => Ok(compute_order_inner(instance, rule)),
     }
 }
 

@@ -62,6 +62,7 @@ pub fn build_interval_model_with_grid(
     instance: &Instance,
     grid: &GeometricGrid,
 ) -> (Model, Vec<Vec<(usize, VarId)>>) {
+    let _span = obs::span("lp.build_model");
     let n = instance.len();
     let m = instance.ports();
     let big_l = grid.num_intervals();

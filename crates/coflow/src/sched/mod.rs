@@ -205,6 +205,7 @@ pub(crate) fn execute_batches(
     batches: &[Vec<usize>],
     opts: ExecOptions,
 ) -> ScheduleOutcome {
+    let _span = obs::span("sched.execute");
     let ExecOptions {
         backfill,
         rematch,
@@ -351,6 +352,8 @@ pub(crate) fn execute_batches(
             })
             .collect();
 
+        obs::counter_add("coflow.sched.batches", 1);
+        let _sim_span = obs::span("sched.simulate");
         for (slot_idx, chunk_len) in chunked {
             let slot = &dec.slots[slot_idx];
             let now = fabric.now();

@@ -93,6 +93,7 @@ pub fn run_with_faults(
         let residual_instance = Instance::new(m, residual);
         let planned = run_resilient(&residual_instance, spec, lp_opts);
         replans += 1;
+        obs::counter_add("coflow.recovery.epochs", 1);
         tiers.push(planned.tier);
 
         // The planner numbers coflows by residual index; map back.

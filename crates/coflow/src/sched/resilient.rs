@@ -13,6 +13,21 @@ use crate::error::SchedError;
 use crate::instance::Instance;
 use crate::ordering::{try_compute_order_with, OrderRule};
 use coflow_lp::SimplexOptions;
+use std::time::{Duration, Instant};
+
+/// One failed tier of the fallback chain: which rule ran, the error it
+/// raised, and how long the attempt took before failing — the wall-clock
+/// cost of degradation, which budget tuning needs and error types alone
+/// cannot convey.
+#[derive(Clone, Debug)]
+pub struct FailedAttempt {
+    /// The ordering rule this tier tried.
+    pub rule: OrderRule,
+    /// The error that rejected it.
+    pub error: SchedError,
+    /// Wall-clock time spent on the attempt before it failed.
+    pub elapsed: Duration,
+}
 
 /// A schedule produced by [`run_resilient`], annotated with provenance:
 /// which rule was requested, which one actually ran, and every failure
@@ -27,8 +42,8 @@ pub struct ResilientOutcome {
     pub used: OrderRule,
     /// Index of `used` in the fallback chain (0 = no degradation).
     pub tier: usize,
-    /// `(rule, error)` for every tier that failed before `used`.
-    pub failures: Vec<(OrderRule, SchedError)>,
+    /// Every tier that failed before `used`, with its wall-clock cost.
+    pub failures: Vec<FailedAttempt>,
 }
 
 impl ResilientOutcome {
@@ -78,10 +93,14 @@ pub fn run_resilient_chain(
     chain: &[OrderRule],
     lp_opts: &SimplexOptions,
 ) -> Result<ResilientOutcome, SchedError> {
-    let mut failures: Vec<(OrderRule, SchedError)> = Vec::new();
+    let mut failures: Vec<FailedAttempt> = Vec::new();
     for (tier, &rule) in chain.iter().enumerate() {
+        let attempt_start = Instant::now();
         match try_compute_order_with(instance, rule, lp_opts) {
             Ok(order) => {
+                if tier > 0 {
+                    obs::counter_add("coflow.resilient.degraded_runs", 1);
+                }
                 let outcome = run_with_order(instance, order, spec.grouping, spec.backfill);
                 return Ok(ResilientOutcome {
                     outcome,
@@ -91,13 +110,21 @@ pub fn run_resilient_chain(
                     failures,
                 });
             }
-            Err(err) => failures.push((rule, err)),
+            Err(error) => {
+                obs::counter_add("coflow.resilient.tier_failures", 1);
+                failures.push(FailedAttempt {
+                    rule,
+                    error,
+                    elapsed: attempt_start.elapsed(),
+                });
+            }
         }
     }
+    obs::counter_add("coflow.resilient.exhausted", 1);
     Err(SchedError::Exhausted {
         attempts: failures
             .iter()
-            .map(|(rule, err)| (rule.name(), err.to_string()))
+            .map(|fa| (fa.rule.name(), fa.error.to_string()))
             .collect(),
     })
 }
@@ -161,13 +188,21 @@ mod tests {
         assert_eq!(out.tier, 1);
         assert!(out.degraded());
         assert_eq!(out.failures.len(), 1);
-        match &out.failures[0] {
-            (OrderRule::LpBased, SchedError::Lp { rule, source }) => {
+        let attempt = &out.failures[0];
+        assert_eq!(attempt.rule, OrderRule::LpBased);
+        match &attempt.error {
+            SchedError::Lp { rule, source } => {
                 assert_eq!(*rule, "H_LP");
                 assert_eq!(*source, LpError::IterationLimit { iterations: 0 });
             }
             other => panic!("unexpected failure record: {:?}", other),
         }
+        // The failed attempt still built the LP model before hitting the
+        // pivot budget, so its recorded cost must be a real duration.
+        assert!(
+            attempt.elapsed > Duration::ZERO,
+            "failed attempt must report its wall-clock cost"
+        );
         // The degraded schedule is still a valid solution of problem (O).
         let times = validate_trace(
             &instance.demand_matrices(),

@@ -207,6 +207,7 @@ impl<'a> Engine<'a> {
     /// A numerically singular basis (pivot-tolerance interactions on
     /// ill-conditioned data) is reported rather than crashing the solve.
     fn refactorize(&mut self) -> Result<(), LpError> {
+        obs::counter_add("lp.simplex.refactorizations", 1);
         let m = self.m();
         let mut dense = vec![0.0; m * m];
         for (pos, &col) in self.basis.iter().enumerate() {
@@ -226,7 +227,37 @@ impl<'a> Engine<'a> {
 
     /// Runs the simplex loop for the given phase cost vector.
     /// `allow_artificial_entering` is true only in phase 1.
+    ///
+    /// Observability wrapper around [`Engine::run_phase_inner`]: one span
+    /// per phase plus pivot-count deltas published once per phase, so the
+    /// hot pivot loop itself carries no instrumentation.
     fn run_phase(
+        &mut self,
+        costs: &[f64],
+        allow_artificial_entering: bool,
+        health: &mut HealthMonitor,
+    ) -> Result<PhaseEnd, LpError> {
+        let _phase_span = obs::span(if allow_artificial_entering {
+            "lp.phase1"
+        } else {
+            "lp.phase2"
+        });
+        let pivots_before = self.iterations;
+        let result = self.run_phase_inner(costs, allow_artificial_entering, health);
+        let delta = (self.iterations - pivots_before) as u64;
+        obs::counter_add(
+            if allow_artificial_entering {
+                "lp.simplex.phase1_pivots"
+            } else {
+                "lp.simplex.phase2_pivots"
+            },
+            delta,
+        );
+        obs::counter_add("lp.simplex.pivots", delta);
+        result
+    }
+
+    fn run_phase_inner(
         &mut self,
         costs: &[f64],
         allow_artificial_entering: bool,
@@ -398,6 +429,7 @@ impl<'a> Engine<'a> {
 /// plus the typed classification when the solve did not reach a clean
 /// optimum.
 fn solve_core(model: &Model, opts: &SimplexOptions) -> (Solution, Option<LpError>) {
+    let _solve_span = obs::span("lp.solve");
     let n = model.num_vars();
     let infeasible = |removed: usize| Solution {
         status: Status::Infeasible,
@@ -410,6 +442,7 @@ fn solve_core(model: &Model, opts: &SimplexOptions) -> (Solution, Option<LpError
 
     // Presolve.
     let (kept_rows, removed) = if opts.presolve {
+        let _presolve_span = obs::span("lp.presolve");
         match presolve(model, opts.opt_tol) {
             PresolveResult::Infeasible { .. } => {
                 return (infeasible(0), Some(LpError::Infeasible))
@@ -419,6 +452,7 @@ fn solve_core(model: &Model, opts: &SimplexOptions) -> (Solution, Option<LpError
     } else {
         ((0..model.num_constraints()).collect(), 0)
     };
+    obs::counter_add("lp.presolve.rows_removed", removed as u64);
 
     let m = kept_rows.len();
     if m == 0 {
@@ -708,6 +742,7 @@ pub fn try_solve_with(model: &Model, opts: &SimplexOptions) -> Result<Solution, 
         return Err(e);
     }
     // Numerical-health checks on the claimed optimum.
+    let _check_span = obs::span("lp.residual_check");
     let residual = model.max_violation(&solution.x);
     // NaN residuals must also trip the check, hence the explicit test.
     if residual.is_nan() || residual > opts.max_residual {

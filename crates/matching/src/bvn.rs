@@ -144,8 +144,23 @@ pub fn decompose_balanced(balanced: &IntMatrix) -> Vec<MatchingSlot> {
     slots
 }
 
+/// Publishes per-decomposition observability stats shared by the greedy
+/// and max-min variants: permutation counts against the paper's
+/// `m² − 2m + 2` bound (Theorem 3) and a per-matrix histogram.
+pub(crate) fn record_decomposition_stats(dim: usize, num_slots: usize) {
+    if !obs::enabled() {
+        return;
+    }
+    let m = dim as u64;
+    obs::counter_add("matching.bvn.decompositions", 1);
+    obs::counter_add("matching.bvn.permutations", num_slots as u64);
+    obs::counter_add("matching.bvn.perm_bound", (m * m).saturating_sub(2 * m) + 2);
+    obs::record_value("matching.bvn.perms_per_matrix", num_slots as u64);
+}
+
 /// Runs both steps of Algorithm 1 on an arbitrary nonnegative integer matrix.
 pub fn bvn_decompose(d: &IntMatrix) -> BvnDecomposition {
+    let _span = obs::span("matching.bvn_decompose");
     let load = d.load();
     let augmented = augment_to_balanced(d);
     let slots = if load == 0 {
@@ -153,6 +168,7 @@ pub fn bvn_decompose(d: &IntMatrix) -> BvnDecomposition {
     } else {
         decompose_balanced(&augmented)
     };
+    record_decomposition_stats(d.dim(), slots.len());
     BvnDecomposition {
         augmented,
         slots,

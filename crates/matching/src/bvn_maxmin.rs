@@ -102,6 +102,7 @@ pub fn decompose_balanced_maxmin(balanced: &IntMatrix) -> Vec<MatchingSlot> {
 
 /// Runs augmentation + max-min decomposition on an arbitrary matrix.
 pub fn bvn_decompose_maxmin(d: &IntMatrix) -> BvnDecomposition {
+    let _span = obs::span("matching.bvn_decompose_maxmin");
     let load = d.load();
     let augmented = augment_to_balanced(d);
     let slots = if load == 0 {
@@ -109,6 +110,7 @@ pub fn bvn_decompose_maxmin(d: &IntMatrix) -> BvnDecomposition {
     } else {
         decompose_balanced_maxmin(&augmented)
     };
+    crate::bvn::record_decomposition_stats(d.dim(), slots.len());
     BvnDecomposition {
         augmented,
         slots,

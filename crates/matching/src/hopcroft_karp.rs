@@ -71,13 +71,18 @@ impl HopcroftKarp {
         self.dist.resize(n, INF);
 
         let mut size = 0;
+        let mut bfs_rounds = 0u64;
         while self.bfs(g) {
+            bfs_rounds += 1;
             for u in 0..n {
                 if self.pair_u[u] == NIL && self.dfs(g, u) {
                     size += 1;
                 }
             }
         }
+        // Publish once per solve so the BFS/DFS loops stay uninstrumented.
+        obs::counter_add("matching.hk.bfs_rounds", bfs_rounds);
+        obs::counter_add("matching.hk.augmenting_paths", size as u64);
 
         Matching {
             pair_left: self

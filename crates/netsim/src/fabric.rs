@@ -160,6 +160,7 @@ impl Fabric {
             }
         }
         self.now += duration;
+        obs::counter_add("netsim.fabric.slots", duration);
         self.trace.push_run(run);
     }
 

@@ -466,6 +466,8 @@ impl FaultSim {
             }
             out.delivered.push((i, j, k));
         }
+        obs::counter_add("netsim.fault.blocked_units", out.blocked.len() as u64);
+        obs::counter_add("netsim.fault.dropped_units", out.dropped.len() as u64);
         if !out.delivered.is_empty() {
             let transfers = out
                 .delivered

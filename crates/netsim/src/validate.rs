@@ -86,6 +86,7 @@ pub fn validate_trace(
     releases: &[u64],
     trace: &ScheduleTrace,
 ) -> Result<Vec<u64>, ValidationError> {
+    let _span = obs::span("netsim.validate");
     let n = demands.len();
     let m = trace.m;
     let mut delivered: Vec<IntMatrix> = demands.iter().map(|d| IntMatrix::zeros(d.dim())).collect();

@@ -1,0 +1,30 @@
+//! Typed observability errors, following the workspace convention of one
+//! error enum per library crate.
+
+use std::fmt;
+
+/// A failure inside the observability layer. Instrumentation itself never
+/// fails (recording is infallible by design); errors only arise at the
+/// edges — writing sink output to disk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObsError {
+    /// Writing sink output to a file failed.
+    Io {
+        /// Path that could not be written.
+        path: String,
+        /// Operating-system error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsError::Io { path, message } => {
+                write!(f, "cannot write {}: {}", path, message)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObsError {}

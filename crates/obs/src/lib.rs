@@ -1,0 +1,357 @@
+//! Structured observability for the coflow-scheduling workspace:
+//! hierarchical wall-clock spans, monotonic counters, and log-scale
+//! histograms, collected into one thread-safe global [`Registry`].
+//!
+//! Design constraints (in the style of `crates/shims/`):
+//!
+//! * **Dependency-free.** The build environment has no registry access, so
+//!   everything here is `std`-only.
+//! * **Near-zero cost when disabled.** Every recording entry point first
+//!   reads one relaxed [`AtomicBool`]; the global default is *disabled*, so
+//!   uninstrumented workloads pay a single predictable branch per call
+//!   site. Harnesses opt in with [`set_enabled`].
+//! * **Coarse-grained spans.** Spans are meant for pipeline *stages*
+//!   (an LP solve, a BvN decomposition, a batch execution), not inner
+//!   loops; hot-loop statistics are accumulated locally by the
+//!   instrumented code and published as one [`counter_add`] per stage.
+//!
+//! Naming conventions (enforced socially, documented in DESIGN.md):
+//! counters and histograms are `crate.component.metric`
+//! (e.g. `lp.simplex.pivots`); span names are `crate.stage`
+//! (e.g. `lp.solve`), and nested spans form `/`-separated paths
+//! (e.g. `sched.order/lp.solve`).
+//!
+//! Two sinks render the collected data: [`summary`] (human-readable tree)
+//! and [`chrome_trace`] (`chrome://tracing` / Perfetto-compatible JSON).
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+mod error;
+mod hist;
+mod sink;
+
+pub use error::ObsError;
+pub use hist::{bucket_bounds, bucket_index, Histogram, NUM_BUCKETS};
+pub use sink::render_chrome_trace;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Cap on buffered span events (the chrome-trace sink's raw material).
+/// Aggregates ([`SpanStat`]) keep counting past the cap, so summaries stay
+/// exact; only the flame view loses the overflow.
+const MAX_EVENTS: usize = 1 << 18;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Stack of active span names on this thread (innermost last).
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// Small dense id for this thread, assigned on first span.
+    static THREAD_ID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// One finished span occurrence, positioned on the global timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// `/`-joined span path, innermost last (e.g. `sched.order/lp.solve`).
+    pub path: String,
+    /// Dense thread id (1-based, assigned per thread on first span).
+    pub tid: u64,
+    /// Start offset from the registry epoch, microseconds.
+    pub ts_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+}
+
+impl SpanEvent {
+    /// Innermost span name (the last path segment).
+    pub fn leaf(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+}
+
+/// Aggregate statistics for one span path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed occurrences.
+    pub count: u64,
+    /// Total wall-clock time across occurrences, nanoseconds.
+    pub total_ns: u64,
+}
+
+impl SpanStat {
+    /// Total wall-clock time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+}
+
+struct Inner {
+    epoch: Instant,
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    span_agg: BTreeMap<String, SpanStat>,
+    events: Vec<SpanEvent>,
+    events_dropped: u64,
+}
+
+impl Inner {
+    fn new() -> Self {
+        Inner {
+            epoch: Instant::now(),
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            span_agg: BTreeMap::new(),
+            events: Vec::new(),
+            events_dropped: 0,
+        }
+    }
+}
+
+/// The global collector behind the free-function API.
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(|| Registry { inner: Mutex::new(Inner::new()) })
+}
+
+/// Locks the registry, recovering from a poisoned lock (a panicking
+/// instrumented thread must not take observability down with it).
+fn locked() -> MutexGuard<'static, Inner> {
+    match global().inner.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// True when recording is globally enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Globally enables or disables recording. Disabled is the default; every
+/// recording entry point reduces to one relaxed atomic load.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Clears all recorded data and restarts the timeline epoch. Intended for
+/// test isolation and per-cell profiling; spans alive across a reset are
+/// recorded with a clamped (zero) start offset.
+pub fn reset() {
+    let mut inner = locked();
+    *inner = Inner::new();
+}
+
+/// Adds `delta` to the monotonic counter `name` (created on first use).
+/// No-op while disabled.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    let mut inner = locked();
+    *inner.counters.entry(name).or_insert(0) += delta;
+}
+
+/// Records `value` into the log-scale histogram `name` (created on first
+/// use). No-op while disabled.
+#[inline]
+pub fn record_value(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut inner = locked();
+    inner.histograms.entry(name).or_default().record(value);
+}
+
+/// RAII guard for one span occurrence: created by [`span`], records timing
+/// on drop. Guards must drop in LIFO order per thread (the natural scoping
+/// of `let _g = obs::span(...)`); a mismatched drop is repaired by removing
+/// the matching stack entry instead of corrupting sibling paths.
+pub struct SpanGuard {
+    start: Option<Instant>,
+    name: &'static str,
+}
+
+/// Opens a span named `name` on the current thread, nested under any spans
+/// already open on this thread. While disabled this is a single atomic
+/// load — no clock read, no allocation.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { start: None, name };
+    }
+    SPAN_STACK.with(|s| s.borrow_mut().push(name));
+    SpanGuard { start: Some(Instant::now()), name }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let dur = start.elapsed();
+        let path = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // LIFO in the common case; otherwise drop the most recent
+            // matching entry so siblings keep correct paths.
+            match stack.iter().rposition(|&n| n == self.name) {
+                Some(pos) => {
+                    let path = stack[..=pos].join("/");
+                    stack.remove(pos);
+                    path
+                }
+                None => self.name.to_string(),
+            }
+        });
+        let tid = THREAD_ID.with(|id| {
+            if id.get() == 0 {
+                id.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+            }
+            id.get()
+        });
+        let mut inner = locked();
+        let ts = start
+            .checked_duration_since(inner.epoch)
+            .unwrap_or(Duration::ZERO);
+        let agg = inner.span_agg.entry(path.clone()).or_default();
+        agg.count += 1;
+        agg.total_ns = agg.total_ns.saturating_add(dur.as_nanos() as u64);
+        if inner.events.len() < MAX_EVENTS {
+            inner.events.push(SpanEvent {
+                path,
+                tid,
+                ts_us: ts.as_micros() as u64,
+                dur_us: dur.as_micros() as u64,
+            });
+        } else {
+            inner.events_dropped += 1;
+        }
+    }
+}
+
+/// A point-in-time copy of everything the registry has collected.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Span aggregates by `/`-joined path.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Raw span events (capped; see `events_dropped`).
+    pub events: Vec<SpanEvent>,
+    /// Events discarded after the buffer cap was reached.
+    pub events_dropped: u64,
+}
+
+impl Snapshot {
+    /// Counter total, 0 when never recorded.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of span time (milliseconds) over every path whose innermost
+    /// name equals `name`, regardless of nesting.
+    pub fn span_total_ms(&self, name: &str) -> f64 {
+        self.spans
+            .iter()
+            .filter(|(path, _)| path.rsplit('/').next() == Some(name))
+            // fold from +0.0: f64's empty Sum identity is -0.0, which would
+            // leak a minus sign into reports.
+            .fold(0.0, |acc, (_, stat)| acc + stat.total_ms())
+    }
+
+    /// Occurrence count over every path whose innermost name equals
+    /// `name`.
+    pub fn span_count(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|(path, _)| path.rsplit('/').next() == Some(name))
+            .map(|(_, stat)| stat.count)
+            .sum()
+    }
+}
+
+/// Copies out everything collected so far.
+pub fn snapshot() -> Snapshot {
+    let inner = locked();
+    Snapshot {
+        counters: inner.counters.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+        histograms: inner
+            .histograms
+            .iter()
+            .map(|(&k, v)| (k.to_string(), v.clone()))
+            .collect(),
+        spans: inner.span_agg.clone(),
+        events: inner.events.clone(),
+        events_dropped: inner.events_dropped,
+    }
+}
+
+/// Renders the human-readable summary tree of the current registry
+/// contents (see [`sink::render_summary`] for the format).
+pub fn summary() -> String {
+    sink::render_summary(&snapshot())
+}
+
+/// Renders the current registry contents as `chrome://tracing`-compatible
+/// trace-event JSON.
+pub fn chrome_trace() -> String {
+    let snap = snapshot();
+    let counters: Vec<(String, u64)> =
+        snap.counters.iter().map(|(k, &v)| (k.clone(), v)).collect();
+    render_chrome_trace(&snap.events, &counters)
+}
+
+/// Writes [`chrome_trace`] output to `path`.
+pub fn write_chrome_trace(path: &str) -> Result<(), ObsError> {
+    std::fs::write(path, chrome_trace()).map_err(|e| ObsError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is global; unit tests here stay on pure helpers. The
+    // integration suite (tests/obs.rs) serializes global-state tests
+    // behind one mutex.
+
+    #[test]
+    fn span_event_leaf_is_last_segment() {
+        let e = SpanEvent {
+            path: "sched.order/lp.solve".into(),
+            tid: 1,
+            ts_us: 0,
+            dur_us: 1,
+        };
+        assert_eq!(e.leaf(), "lp.solve");
+    }
+
+    #[test]
+    fn snapshot_accessors_default_to_zero() {
+        let s = Snapshot::default();
+        assert_eq!(s.counter("missing"), 0);
+        assert_eq!(s.span_total_ms("missing"), 0.0);
+        assert_eq!(s.span_count("missing"), 0);
+    }
+
+    #[test]
+    fn span_stat_total_ms_converts() {
+        let s = SpanStat { count: 2, total_ns: 3_500_000 };
+        assert!((s.total_ms() - 3.5).abs() < 1e-12);
+    }
+}

@@ -25,6 +25,7 @@ pub struct PermutationSchedule {
 /// jobs in that order, waiting for releases, and a job completes when its
 /// last machine finishes it.
 pub fn permutation_schedule(shop: &OpenShopInstance, order: &[usize]) -> PermutationSchedule {
+    let _span = obs::span("openshop.schedule");
     let m = shop.machines();
     let mut machine_clock = vec![0u64; m];
     let mut completions = vec![0u64; shop.len()];

@@ -101,6 +101,8 @@ impl TraceConfig {
 /// assert_eq!(generate_trace(&cfg).coflow(0), trace.coflow(0));
 /// ```
 pub fn generate_trace(config: &TraceConfig) -> Instance {
+    let _span = obs::span("workloads.generate");
+    obs::counter_add("workloads.trace.coflows", config.num_coflows as u64);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let m = config.ports;
     let size_dist = LogNormal::new(config.flow_size_mu, config.flow_size_sigma);

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Perf gate: profile the 12-cell grid and diff per-stage wall-clock totals
+# against the committed baseline (BENCH_baseline.json). Fails when any
+# stage regresses by more than the tolerance (default +20%, above a 10 ms
+# noise floor — see crates/bench/src/profile.rs).
+#
+# Usage:
+#   scripts/bench-baseline.sh                 # compare at default tolerance
+#   scripts/bench-baseline.sh --tolerance 0.5 # looser gate (e.g. shared CI)
+#   scripts/bench-baseline.sh --update        # rerun and rewrite the baseline
+set -eu
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_baseline.json
+
+if [ "${1:-}" = "--update" ]; then
+    exec cargo run --release -q -p coflow-bench --bin experiments -- \
+        profile --out "$BASELINE"
+fi
+
+exec cargo run --release -q -p coflow-bench --bin experiments -- \
+    profile --out BENCH_grid.json --baseline "$BASELINE" "$@"

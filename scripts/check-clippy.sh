@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Lint gate: library code must not contain unjustified unwrap()/expect().
-# The six library crates opt in via
+# The seven library crates (incl. `obs`) opt in via
 #   #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 # so this command fails the build on any new panic-by-default call site
 # (tests and benches are exempt through the cfg gate).

@@ -3,9 +3,13 @@
 //! ```text
 //! coflow-cli <trace.{json,csv}> [--ports N] [--order H_A|H_rho|H_LP|H_size]
 //!            [--no-group] [--no-backfill] [--rematch] [--online]
-//!            [--analyze] [--emit-json]
+//!            [--analyze] [--emit-json] [--profile] [--trace-out PATH]
 //! coflow-cli --generate <n> [--ports N] [--seed S]   # print a trace as CSV
 //! ```
+//!
+//! `--profile` enables the `obs` registry and prints the span/counter
+//! summary tree to stderr after scheduling; `--trace-out PATH` additionally
+//! writes a `chrome://tracing`-compatible JSON view (implies `--profile`).
 //!
 //! CSV format: `coflow_id,src,dst,mb,release,weight` (header optional).
 //! Exit code 0 on success; the schedule is validated end-to-end before any
@@ -29,6 +33,8 @@ struct Args {
     online: bool,
     do_analyze: bool,
     emit_json: bool,
+    profile: bool,
+    trace_out: Option<String>,
     generate: Option<usize>,
     seed: u64,
 }
@@ -37,7 +43,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: coflow-cli <trace.json|trace.csv> [--ports N] \
          [--order H_A|H_rho|H_LP|H_size] [--no-group] [--no-backfill] \
-         [--rematch] [--online] [--analyze] [--emit-json]\n\
+         [--rematch] [--online] [--analyze] [--emit-json] [--profile] \
+         [--trace-out PATH]\n\
          \x20      coflow-cli --generate <n> [--ports N] [--seed S]"
     );
     exit(2)
@@ -54,6 +61,8 @@ fn parse_args() -> Args {
         online: false,
         do_analyze: false,
         emit_json: false,
+        profile: false,
+        trace_out: None,
         generate: None,
         seed: 2015,
     };
@@ -81,6 +90,13 @@ fn parse_args() -> Args {
             "--online" => args.online = true,
             "--analyze" => args.do_analyze = true,
             "--emit-json" => args.emit_json = true,
+            "--profile" => args.profile = true,
+            "--trace-out" => {
+                i += 1;
+                args.trace_out =
+                    Some(argv.get(i).unwrap_or_else(|| usage()).to_string());
+                args.profile = true;
+            }
             "--generate" => {
                 i += 1;
                 args.generate = Some(argv.get(i).unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage()));
@@ -154,12 +170,26 @@ fn main() {
         instance.ports()
     );
 
+    if args.profile {
+        obs::set_enabled(true);
+    }
     let outcome: ScheduleOutcome = if args.online {
         run_online(&instance)
     } else {
         let order = compute_order(&instance, args.order);
         run_with_order_ext(&instance, order, args.grouping, args.backfill, args.rematch)
     };
+    if args.profile {
+        obs::set_enabled(false);
+        eprint!("{}", obs::summary());
+        if let Some(trace_path) = &args.trace_out {
+            if let Err(e) = obs::write_chrome_trace(trace_path) {
+                eprintln!("cannot write {}: {}", trace_path, e);
+                exit(1);
+            }
+            eprintln!("chrome trace written to {}", trace_path);
+        }
+    }
     if let Err(e) = verify_outcome(&instance, &outcome) {
         eprintln!("internal error: schedule failed verification: {}", e);
         exit(1);
