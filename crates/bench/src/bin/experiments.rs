@@ -4,6 +4,9 @@
 //! experiments [table1|fig2a|fig2b|lpexp|ratios|all] [--seed N]
 //! experiments profile [--out PATH] [--trace PATH] [--baseline PATH]
 //!                     [--tolerance F] [--full] [--seed N]
+//! experiments explain [--out PATH] [--svg PATH] [--trace PATH]
+//!                     [--faults RATE] [--severity LEVEL]
+//!                     [--expect-starvation] [--validate PATH] [--seed N]
 //! ```
 //!
 //! `profile` runs the 12-cell grid with the `obs` registry enabled and
@@ -13,6 +16,15 @@
 //! (default 0.2 = +20%); `--trace` additionally writes a chrome://tracing
 //! view of the last cell; `--full` profiles the paper's 150-port fabric
 //! instead of the default reduced scale.
+//!
+//! `explain` runs the schedule-forensics pipeline over the same grid:
+//! per-coflow LP attribution, anomaly detectors, and a
+//! `coflow-diagnostics/1` JSON report. It exits 1 when any detector fires
+//! at or above `--severity` (default `warning`). `--validate PATH` skips
+//! the run and validates an existing report instead (used by
+//! `scripts/check-explain.sh`); `--faults RATE` adds a fault-injected
+//! section; `--svg` writes the attribution cell's port-utilization
+//! heatmap; `--trace` writes the chrome trace (spans + anomaly instants).
 //!
 //! Table 1 and the figures run on the synthetic Facebook-like trace at the
 //! documented reduced scale; `lpexp` runs on a further reduced instance
@@ -51,11 +63,37 @@ impl Default for ProfileArgs {
     }
 }
 
+/// Options of the `explain` subcommand.
+struct ExplainArgs {
+    out: String,
+    svg: Option<String>,
+    trace: Option<String>,
+    faults: Option<f64>,
+    severity: coflow::Severity,
+    expect_starvation: bool,
+    validate: Option<String>,
+}
+
+impl Default for ExplainArgs {
+    fn default() -> Self {
+        ExplainArgs {
+            out: "BENCH_diagnostics.json".to_string(),
+            svg: None,
+            trace: None,
+            faults: None,
+            severity: coflow::Severity::Warning,
+            expect_starvation: false,
+            validate: None,
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_string();
     let mut seed: u64 = 2015;
     let mut profile_args = ProfileArgs::default();
+    let mut explain_args = ExplainArgs::default();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         let mut value_of = |flag: &str| -> String {
@@ -78,9 +116,43 @@ fn main() {
                     }
                 };
             }
-            "--out" => profile_args.out = value_of("--out"),
-            "--trace" => profile_args.trace = Some(value_of("--trace")),
+            "--out" => {
+                let value = value_of("--out");
+                profile_args.out = value.clone();
+                explain_args.out = value;
+            }
+            "--trace" => {
+                let value = value_of("--trace");
+                profile_args.trace = Some(value.clone());
+                explain_args.trace = Some(value);
+            }
             "--baseline" => profile_args.baseline = Some(value_of("--baseline")),
+            "--svg" => explain_args.svg = Some(value_of("--svg")),
+            "--faults" => {
+                let value = value_of("--faults");
+                explain_args.faults = match value.parse() {
+                    Ok(r) => Some(r),
+                    Err(_) => {
+                        eprintln!("error: --faults must be a rate, got '{}'", value);
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--severity" => {
+                let value = value_of("--severity");
+                explain_args.severity = match coflow::Severity::parse(&value) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!(
+                            "error: --severity must be info|warning|critical, got '{}'",
+                            value
+                        );
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--expect-starvation" => explain_args.expect_starvation = true,
+            "--validate" => explain_args.validate = Some(value_of("--validate")),
             "--tolerance" => {
                 let value = value_of("--tolerance");
                 profile_args.tolerance = match value.parse() {
@@ -107,6 +179,7 @@ fn main() {
         "arrivals" => arrivals(seed),
         "faults" => faults(seed),
         "profile" => profile(seed, &profile_args),
+        "explain" => explain(seed, &explain_args),
         "all" => {
             table1(seed);
             fig2a(seed);
@@ -120,7 +193,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{}'; expected table1|fig2a|fig2b|lpexp|ratios|gridsweep|integrality|arrivals|faults|profile|all",
+                "unknown experiment '{}'; expected table1|fig2a|fig2b|lpexp|ratios|gridsweep|integrality|arrivals|faults|profile|explain|all",
                 other
             );
             std::process::exit(2);
@@ -214,6 +287,130 @@ fn profile(seed: u64, args: &ProfileArgs) {
             eprintln!("error: per-stage regression beyond tolerance");
             std::process::exit(1);
         }
+    }
+}
+
+fn explain(seed: u64, args: &ExplainArgs) {
+    use coflow_bench::explain::{
+        render_json, render_text, run_explain, validate_report, ValidateOpts,
+    };
+
+    // Validation-only mode: check an existing report and exit.
+    if let Some(path) = &args.validate {
+        let text = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: reading {}: {}", path, e);
+                std::process::exit(1);
+            }
+        };
+        let opts = ValidateOpts { expect_starvation: args.expect_starvation };
+        match validate_report(&text, &opts) {
+            Ok(summary) => {
+                println!("{}: {}", path, summary);
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {}: {}", path, e);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let cfg = paper_scale_config(seed);
+    trace_banner(&cfg);
+    let inst = assign_weights(
+        &generate_trace(&cfg),
+        WeightScheme::RandomPermutation { seed },
+    );
+    let lp_opts = SimplexOptions {
+        max_iterations: 400_000,
+        time_limit_ms: Some(120_000),
+        stall_window: Some(40_000),
+        ..SimplexOptions::default()
+    };
+    obs::reset();
+    obs::set_enabled(true);
+    let report = run_explain(
+        &inst,
+        seed,
+        &lp_opts,
+        args.faults,
+        &coflow::DiagnosticsConfig::default(),
+    );
+    obs::set_enabled(false);
+    print!("{}", render_text(&report));
+
+    if let Err(e) = std::fs::write(&args.out, render_json(&report)) {
+        eprintln!("error: writing {}: {}", args.out, e);
+        std::process::exit(1);
+    }
+    println!("# diagnostics report written to {}", args.out);
+
+    if let Some(svg_path) = &args.svg {
+        // Re-run the attribution cell to materialize its trace for the
+        // heatmap (run_with_order is cheap next to the LP).
+        let att = report.attribution_cell();
+        let order = att.diag.committed_order.clone();
+        let outcome =
+            coflow::sched::run_with_order(&inst, order, att.grouping, att.backfill);
+        let svg = coflow_netsim::render_svg_heatmap(&outcome.trace, 128);
+        if let Err(e) = std::fs::write(svg_path, svg) {
+            eprintln!("error: writing {}: {}", svg_path, e);
+            std::process::exit(1);
+        }
+        println!("# port-utilization heatmap written to {}", svg_path);
+    }
+
+    if let Some(trace_path) = &args.trace {
+        if let Err(e) = obs::write_chrome_trace(trace_path) {
+            eprintln!("error: writing chrome trace: {}", e);
+            std::process::exit(1);
+        }
+        println!("# chrome trace (spans + anomaly instants) written to {}", trace_path);
+    }
+
+    // Gate: fail on firings at or above the requested severity. Fault
+    // sections are expected to fire; the clean grid is not.
+    let mut firings = 0usize;
+    for cell in &report.cells {
+        firings += cell.diag.anomalies_at_least(args.severity).count();
+    }
+    let fault_firings = report
+        .faults
+        .as_ref()
+        .map(|f| f.diag.anomalies_at_least(args.severity).count())
+        .unwrap_or(0);
+    if args.expect_starvation {
+        let starved = report
+            .faults
+            .as_ref()
+            .map(|f| {
+                f.diag
+                    .anomalies
+                    .iter()
+                    .any(|a| a.detector == coflow::Detector::Starvation)
+            })
+            .unwrap_or(false);
+        if !starved {
+            eprintln!("error: expected a starvation firing under faults, found none");
+            std::process::exit(1);
+        }
+        println!(
+            "# faults section fired {} anomalies at >= {} (expected)",
+            fault_firings,
+            args.severity.name()
+        );
+    } else {
+        firings += fault_firings;
+    }
+    if firings > 0 {
+        eprintln!(
+            "error: {} anomalies at or above severity '{}'",
+            firings,
+            args.severity.name()
+        );
+        std::process::exit(1);
     }
 }
 

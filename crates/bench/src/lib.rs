@@ -11,9 +11,12 @@
 //!   on tiny instances (validating Theorems 1–2 empirically);
 //! * [`profile`] — per-stage timing/counter profile of the grid
 //!   (`BENCH_grid.json`, baseline regression checks);
+//! * [`explain`] — schedule forensics over the grid: per-coflow LP
+//!   attribution, anomaly detectors, `coflow-diagnostics/1` reports;
 //! * [`report`] — plain-text table rendering.
 
 pub mod arrivals;
+pub mod explain;
 pub mod faults;
 pub mod figures;
 pub mod grid;

@@ -1,0 +1,38 @@
+//! Golden `coflow-diagnostics/1` report: the explain pipeline on a tiny
+//! seeded workload must render byte-identically run over run. Any
+//! intentional schema or metric change regenerates the golden with
+//! `GOLDEN_UPDATE=1 cargo test -p coflow-bench --test explain_golden`.
+
+use coflow::DiagnosticsConfig;
+use coflow_bench::explain::{render_json, run_explain, validate_report, ValidateOpts};
+use coflow_lp::SimplexOptions;
+use coflow_workloads::{generate_trace, TraceConfig};
+
+#[test]
+fn diagnostics_report_matches_golden() {
+    let instance = generate_trace(&TraceConfig::small(7));
+    let report = run_explain(
+        &instance,
+        7,
+        &SimplexOptions::default(),
+        None,
+        &DiagnosticsConfig::default(),
+    );
+    let rendered = render_json(&report);
+
+    // The golden must itself be schema-valid — a broken golden would
+    // otherwise lock in a regression.
+    validate_report(&rendered, &ValidateOpts::default())
+        .expect("golden report must validate against coflow-diagnostics/1");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/diagnostics.json");
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::write(path, &rendered).unwrap();
+    }
+    let golden = include_str!("golden/diagnostics.json");
+    assert_eq!(
+        rendered, golden,
+        "diagnostics report drifted from the golden file; \
+         run with GOLDEN_UPDATE=1 to regenerate intentionally"
+    );
+}

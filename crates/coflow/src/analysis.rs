@@ -28,6 +28,10 @@ pub struct ScheduleAnalysis {
     pub idle_pair_slots: u64,
     /// Schedule makespan.
     pub makespan: u64,
+    /// The coflow permutation the scheduler committed to (priority order,
+    /// indices into the instance) — surfaced so reports can show *which*
+    /// ordering produced these numbers.
+    pub order: Vec<usize>,
 }
 
 /// Analyzes `outcome` against `instance`.
@@ -65,6 +69,7 @@ pub fn analyze(instance: &Instance, outcome: &ScheduleOutcome) -> ScheduleAnalys
         fabric_utilization: stats.fabric_utilization,
         idle_pair_slots: stats.idle_pair_slots,
         makespan: stats.makespan,
+        order: outcome.order.clone(),
     }
 }
 

@@ -38,6 +38,7 @@
 pub mod analysis;
 pub mod bounds;
 pub mod coflow;
+pub mod diagnostics;
 pub mod error;
 pub mod grouping;
 pub mod instance;
@@ -49,11 +50,17 @@ pub mod verify;
 
 pub use crate::analysis::{analyze, serialization_overhead, ScheduleAnalysis};
 pub use crate::coflow::{Coflow, CoflowRecord};
+pub use crate::diagnostics::{
+    diagnose, diagnose_faulty, Anomaly, CoflowReport, Detector, DiagnosticsConfig,
+    ScheduleDiagnostics, Severity,
+};
 pub use crate::error::SchedError;
 pub use crate::grouping::{group_by_doubling, group_by_grid, Groups};
 pub use crate::instance::Instance;
 pub use crate::intervals::GeometricGrid;
-pub use crate::ordering::{compute_order, try_compute_order, try_compute_order_with, OrderRule};
+pub use crate::ordering::{
+    compute_order, permutation_by_key, try_compute_order, try_compute_order_with, OrderRule,
+};
 pub use crate::relax::{
     solve_interval_lp, solve_time_indexed_lp, solve_with_grid, try_solve_interval_lp,
     try_solve_interval_lp_with, LpExpRelaxation, LpRelaxation,
@@ -68,7 +75,7 @@ pub use crate::sched::{
     run, run_randomized, run_with_order, run_with_order_ext, run_with_order_grid,
     run_with_order_opts, AlgorithmSpec, ExecOptions, ScheduleOutcome,
 };
-pub use crate::verify::{verify_outcome, VerifyError};
+pub use crate::verify::{verify_outcome, VerifyError, VerifyReport};
 
 /// The deterministic approximation ratio proven in Theorem 1.
 pub const DETERMINISTIC_RATIO: f64 = 67.0 / 3.0;

@@ -55,6 +55,17 @@ impl OrderRule {
     }
 }
 
+/// The permutation of `0..n` sorting by `key` nondecreasing, ties broken
+/// by index. This is *the* ordering primitive of the workspace — every
+/// key-based rule (`H_ρ`, `H_size`, the LP's `C̄_k` order, online
+/// re-ranking) routes through it so tie-breaking stays consistent.
+pub fn permutation_by_key(n: usize, key: &[f64]) -> Vec<usize> {
+    debug_assert_eq!(n, key.len());
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| key[a].total_cmp(&key[b]).then(a.cmp(&b)));
+    order
+}
+
 /// Computes the coflow order under `rule`. Ties break by coflow index, so
 /// every rule yields a deterministic permutation of `0..n`.
 pub fn compute_order(instance: &Instance, rule: OrderRule) -> Vec<usize> {
@@ -76,7 +87,7 @@ fn compute_order_inner(instance: &Instance, rule: OrderRule) -> Vec<usize> {
                     c.load() as f64 / c.weight
                 })
                 .collect();
-            order.sort_by(|&a, &b| key[a].total_cmp(&key[b]).then(a.cmp(&b)));
+            order = permutation_by_key(n, &key);
         }
         OrderRule::SizeOverWeight => {
             let key: Vec<f64> = (0..n)
@@ -85,7 +96,7 @@ fn compute_order_inner(instance: &Instance, rule: OrderRule) -> Vec<usize> {
                     c.total_units() as f64 / c.weight
                 })
                 .collect();
-            order.sort_by(|&a, &b| key[a].total_cmp(&key[b]).then(a.cmp(&b)));
+            order = permutation_by_key(n, &key);
         }
         OrderRule::LpBased => {
             return solve_interval_lp(instance).order;

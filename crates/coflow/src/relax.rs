@@ -173,8 +173,7 @@ fn extract_relaxation(
                 .sum()
         })
         .collect();
-    let mut order: Vec<usize> = (0..instance.len()).collect();
-    order.sort_by(|&a, &b| approx[a].total_cmp(&approx[b]).then(a.cmp(&b)));
+    let order = crate::ordering::permutation_by_key(instance.len(), &approx);
     LpRelaxation {
         approx_completion: approx,
         order,

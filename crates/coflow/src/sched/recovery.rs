@@ -15,7 +15,7 @@ use super::AlgorithmSpec;
 use crate::coflow::Coflow;
 use crate::instance::Instance;
 use coflow_lp::SimplexOptions;
-use coflow_netsim::{FaultPlan, FaultSim, ScheduleTrace, SimError};
+use coflow_netsim::{BlockedSlot, FaultPlan, FaultSim, ScheduleTrace, SimError};
 
 /// The result of executing an instance to quiescence under a fault plan.
 #[derive(Clone, Debug)]
@@ -33,6 +33,11 @@ pub struct FaultyOutcome {
     pub tiers: Vec<usize>,
     /// Planned units stranded by outages or degradations.
     pub blocked_units: u64,
+    /// Chronological log of individual blocked unit-slots (capped inside
+    /// [`FaultSim`]; `blocked_units` above stays exact past the cap). The
+    /// diagnostics layer joins this with the flight recorder to attribute
+    /// fault-induced delay per coflow.
+    pub blocked: Vec<BlockedSlot>,
 }
 
 impl FaultyOutcome {
@@ -110,6 +115,7 @@ pub fn run_with_faults(
         sim.execute_trace(&trace, stop)?;
     }
 
+    let blocked = sim.blocked_log().to_vec();
     let (executed, completions, blocked_units) = sim.finish();
     let objective = completions
         .iter()
@@ -123,6 +129,7 @@ pub fn run_with_faults(
         replans,
         tiers,
         blocked_units,
+        blocked,
     })
 }
 

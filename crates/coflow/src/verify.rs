@@ -39,8 +39,27 @@ impl std::fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
-/// Fully verifies `outcome` against `instance`.
-pub fn verify_outcome(instance: &Instance, outcome: &ScheduleOutcome) -> Result<(), VerifyError> {
+/// Evidence produced by a successful verification: the independently
+/// replayed quantities plus the ordering the scheduler committed to, so
+/// downstream consumers (diagnostics, CLIs) can report them without
+/// re-deriving anything.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VerifyReport {
+    /// The scheduler's coflow permutation (indices into the instance).
+    pub order: Vec<usize>,
+    /// Completion slots re-derived by the independent netsim replay.
+    pub replayed_completions: Vec<u64>,
+    /// `Σ w_k C_k` recomputed from the replayed completions.
+    pub objective: f64,
+}
+
+/// Fully verifies `outcome` against `instance`. On success returns the
+/// replay evidence ([`VerifyReport`]); existing callers that only care
+/// about pass/fail keep working unchanged.
+pub fn verify_outcome(
+    instance: &Instance,
+    outcome: &ScheduleOutcome,
+) -> Result<VerifyReport, VerifyError> {
     let replayed = validate_trace(
         &instance.demand_matrices(),
         &instance.releases(),
@@ -68,7 +87,11 @@ pub fn verify_outcome(instance: &Instance, outcome: &ScheduleOutcome) -> Result<
             recomputed,
         });
     }
-    Ok(())
+    Ok(VerifyReport {
+        order: outcome.order.clone(),
+        replayed_completions: replayed,
+        objective: recomputed,
+    })
 }
 
 #[cfg(test)]
@@ -96,7 +119,10 @@ mod tests {
                 backfill: true,
             },
         );
-        verify_outcome(&inst, &out).expect("outcome must verify");
+        let report = verify_outcome(&inst, &out).expect("outcome must verify");
+        assert_eq!(report.order, out.order);
+        assert_eq!(report.replayed_completions, out.completions);
+        assert!((report.objective - out.objective).abs() < 1e-9);
     }
 
     #[test]

@@ -292,6 +292,24 @@ pub struct SlotOutcome {
     pub dropped: Vec<(usize, usize, usize)>,
 }
 
+/// One planned unit denied by a fault: the forensic record behind the
+/// flight recorder's `FaultBlocked` events and the starvation detector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockedSlot {
+    /// The slot in which service was denied.
+    pub slot: u64,
+    /// Ingress of the blocked pair.
+    pub src: usize,
+    /// Egress of the blocked pair.
+    pub dst: usize,
+    /// The coflow whose planned unit was stranded.
+    pub coflow: usize,
+}
+
+/// Cap on the retained blocked log; [`FaultSim::blocked_units`] keeps
+/// counting past it, so aggregate accounting stays exact.
+const MAX_BLOCKED_LOG: usize = 1 << 16;
+
 /// Slot-by-slot executor that applies a [`FaultPlan`] while replaying
 /// planned schedules, stranding blocked demand for later replans.
 #[derive(Clone, Debug)]
@@ -307,6 +325,8 @@ pub struct FaultSim {
     plan: FaultPlan,
     executed: ScheduleTrace,
     blocked_units: u64,
+    blocked_log: Vec<BlockedSlot>,
+    blocked_log_dropped: u64,
 }
 
 impl FaultSim {
@@ -331,6 +351,8 @@ impl FaultSim {
             plan,
             executed: ScheduleTrace::new(m),
             blocked_units: 0,
+            blocked_log: Vec::new(),
+            blocked_log_dropped: 0,
         }
     }
 
@@ -372,6 +394,17 @@ impl FaultSim {
     /// Total planned units stranded by faults so far.
     pub fn blocked_units(&self) -> u64 {
         self.blocked_units
+    }
+
+    /// Per-unit forensic log of fault-denied service, in slot order
+    /// (bounded; see [`FaultSim::blocked_log_dropped`]).
+    pub fn blocked_log(&self) -> &[BlockedSlot] {
+        &self.blocked_log
+    }
+
+    /// Blocked-log entries discarded past the retention cap.
+    pub fn blocked_log_dropped(&self) -> u64 {
+        self.blocked_log_dropped
     }
 
     /// True when every coflow is either complete or cancelled.
@@ -455,6 +488,11 @@ impl FaultSim {
             }
             if !self.plan.pair_open(i, j, slot) {
                 self.blocked_units += 1;
+                if self.blocked_log.len() < MAX_BLOCKED_LOG {
+                    self.blocked_log.push(BlockedSlot { slot, src: i, dst: j, coflow: k });
+                } else {
+                    self.blocked_log_dropped += 1;
+                }
                 out.blocked.push((i, j, k));
                 continue;
             }
@@ -611,6 +649,23 @@ mod tests {
         assert_eq!(blocked, 2);
         assert_eq!(trace.total_units(), 3);
         assert_eq!(trace.runs.len(), 3, "only delivering slots are recorded");
+    }
+
+    #[test]
+    fn blocked_log_records_each_denied_unit() {
+        let plan = FaultPlan::new(vec![FaultEvent::IngressOutage { port: 0, start: 1, end: 2 }]);
+        let mut sim = FaultSim::new(2, &[demand(3)], &[0], plan);
+        for _ in 0..5 {
+            sim.step(&[(0, 1, 0)]).unwrap();
+        }
+        assert_eq!(
+            sim.blocked_log(),
+            &[
+                BlockedSlot { slot: 1, src: 0, dst: 1, coflow: 0 },
+                BlockedSlot { slot: 2, src: 0, dst: 1, coflow: 0 },
+            ]
+        );
+        assert_eq!(sim.blocked_log_dropped(), 0);
     }
 
     #[test]

@@ -12,21 +12,31 @@
 //! * [`validate_trace`] replays a recorded [`ScheduleTrace`] against the
 //!   original instance and re-derives completion times independently;
 //! * [`trace_stats`] measures idle capacity, the quantity backfilling
-//!   reclaims.
+//!   reclaims;
+//! * [`record_flights`] derives the bounded per-coflow flight-recorder
+//!   event stream (release, first service, preemption, progress,
+//!   fault-blocked service, completion) and per-port utilization series
+//!   that the `coflow` diagnostics layer joins with the LP relaxation;
+//! * [`render_timeline`] / [`render_svg_heatmap`] render text Gantt charts
+//!   (with a collision-aware glyph legend) and SVG port heatmaps.
 
 // Library code must justify every panic: unwraps/expects surface as clippy
 // warnings (tests and benches are exempt via the cfg gate).
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod fabric;
 pub mod fault;
+pub mod recorder;
 pub mod render;
 pub mod stats;
 pub mod trace;
 pub mod validate;
 
 pub use fabric::{Fabric, SlotSim};
-pub use fault::{FaultEvent, FaultPlan, FaultSim, SimError, SlotOutcome};
-pub use render::render_timeline;
+pub use fault::{BlockedSlot, FaultEvent, FaultPlan, FaultSim, SimError, SlotOutcome};
+pub use recorder::{
+    record_flights, CoflowFlight, FlightEvent, FlightRecorder, PortSeries, RecorderConfig,
+};
+pub use render::{render_legend, render_svg_heatmap, render_timeline};
 pub use stats::{trace_stats, TraceStats};
 pub use trace::{Run, ScheduleTrace, Transfer};
 pub use validate::{validate_trace, ValidationError};

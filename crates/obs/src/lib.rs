@@ -32,7 +32,7 @@ mod sink;
 
 pub use error::ObsError;
 pub use hist::{bucket_bounds, bucket_index, Histogram, NUM_BUCKETS};
-pub use sink::render_chrome_trace;
+pub use sink::{render_chrome_trace, render_chrome_trace_full};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -44,6 +44,10 @@ use std::time::{Duration, Instant};
 /// Aggregates ([`SpanStat`]) keep counting past the cap, so summaries stay
 /// exact; only the flame view loses the overflow.
 const MAX_EVENTS: usize = 1 << 18;
+
+/// Cap on buffered instant events (anomaly markers and the like). Instants
+/// are expected to be rare — a firing detector, not a hot loop.
+const MAX_INSTANTS: usize = 1 << 14;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
@@ -75,6 +79,19 @@ impl SpanEvent {
     }
 }
 
+/// One point-in-time marker on the global timeline — a detector firing, a
+/// replan boundary, anything with a *when* but no duration. Rendered as a
+/// `ph:"i"` instant event by the chrome-trace sink.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstantEvent {
+    /// Marker name (e.g. `diag.anomaly.starvation`).
+    pub name: &'static str,
+    /// Dense thread id (1-based, assigned per thread on first use).
+    pub tid: u64,
+    /// Offset from the registry epoch, microseconds.
+    pub ts_us: u64,
+}
+
 /// Aggregate statistics for one span path.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SpanStat {
@@ -98,6 +115,8 @@ struct Inner {
     span_agg: BTreeMap<String, SpanStat>,
     events: Vec<SpanEvent>,
     events_dropped: u64,
+    instants: Vec<InstantEvent>,
+    instants_dropped: u64,
 }
 
 impl Inner {
@@ -109,6 +128,8 @@ impl Inner {
             span_agg: BTreeMap::new(),
             events: Vec::new(),
             events_dropped: 0,
+            instants: Vec::new(),
+            instants_dropped: 0,
         }
     }
 }
@@ -174,6 +195,34 @@ pub fn record_value(name: &'static str, value: u64) {
     inner.histograms.entry(name).or_default().record(value);
 }
 
+/// Dense 1-based id for the current thread, assigned on first use.
+fn thread_id() -> u64 {
+    THREAD_ID.with(|id| {
+        if id.get() == 0 {
+            id.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        }
+        id.get()
+    })
+}
+
+/// Records a point-in-time marker named `name` at the current timestamp
+/// (e.g. an anomaly-detector firing). No-op while disabled.
+#[inline]
+pub fn instant(name: &'static str) {
+    if !enabled() {
+        return;
+    }
+    let tid = thread_id();
+    let now = Instant::now();
+    let mut inner = locked();
+    let ts = now.checked_duration_since(inner.epoch).unwrap_or(Duration::ZERO);
+    if inner.instants.len() < MAX_INSTANTS {
+        inner.instants.push(InstantEvent { name, tid, ts_us: ts.as_micros() as u64 });
+    } else {
+        inner.instants_dropped += 1;
+    }
+}
+
 /// RAII guard for one span occurrence: created by [`span`], records timing
 /// on drop. Guards must drop in LIFO order per thread (the natural scoping
 /// of `let _g = obs::span(...)`); a mismatched drop is repaired by removing
@@ -214,12 +263,7 @@ impl Drop for SpanGuard {
                 None => self.name.to_string(),
             }
         });
-        let tid = THREAD_ID.with(|id| {
-            if id.get() == 0 {
-                id.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
-            }
-            id.get()
-        });
+        let tid = thread_id();
         let mut inner = locked();
         let ts = start
             .checked_duration_since(inner.epoch)
@@ -253,6 +297,10 @@ pub struct Snapshot {
     pub events: Vec<SpanEvent>,
     /// Events discarded after the buffer cap was reached.
     pub events_dropped: u64,
+    /// Instant markers (capped; see `instants_dropped`).
+    pub instants: Vec<InstantEvent>,
+    /// Instant markers discarded after the buffer cap was reached.
+    pub instants_dropped: u64,
 }
 
 impl Snapshot {
@@ -296,6 +344,8 @@ pub fn snapshot() -> Snapshot {
         spans: inner.span_agg.clone(),
         events: inner.events.clone(),
         events_dropped: inner.events_dropped,
+        instants: inner.instants.clone(),
+        instants_dropped: inner.instants_dropped,
     }
 }
 
@@ -311,7 +361,7 @@ pub fn chrome_trace() -> String {
     let snap = snapshot();
     let counters: Vec<(String, u64)> =
         snap.counters.iter().map(|(k, &v)| (k.clone(), v)).collect();
-    render_chrome_trace(&snap.events, &counters)
+    sink::render_chrome_trace_full(&snap.events, &snap.instants, &counters)
 }
 
 /// Writes [`chrome_trace`] output to `path`.

@@ -1,7 +1,7 @@
 //! Sinks: render collected data as a human-readable summary tree or as
 //! `chrome://tracing` / Perfetto-compatible trace-event JSON.
 
-use crate::{Snapshot, SpanEvent};
+use crate::{InstantEvent, Snapshot, SpanEvent};
 use std::fmt::Write as _;
 
 /// JSON string escape (control characters, quotes, backslashes).
@@ -34,6 +34,18 @@ fn json_escape(s: &str) -> String {
 /// * each counter becomes one `ph:"C"` counter sample at `ts: 0`;
 /// * one `ph:"M"` metadata event names the process.
 pub fn render_chrome_trace(events: &[SpanEvent], counters: &[(String, u64)]) -> String {
+    render_chrome_trace_full(events, &[], counters)
+}
+
+/// [`render_chrome_trace`] plus instant markers: each [`InstantEvent`]
+/// becomes a thread-scoped `ph:"i"` event, rendered between the spans and
+/// the counters. With no instants the output is byte-identical to
+/// [`render_chrome_trace`], so existing golden files remain valid.
+pub fn render_chrome_trace_full(
+    events: &[SpanEvent],
+    instants: &[InstantEvent],
+    counters: &[(String, u64)],
+) -> String {
     let mut out = String::new();
     out.push_str("{\"traceEvents\":[\n");
     out.push_str(
@@ -50,6 +62,16 @@ pub fn render_chrome_trace(events: &[SpanEvent], counters: &[(String, u64)]) -> 
             e.dur_us,
             json_escape(e.leaf()),
             json_escape(&e.path),
+        );
+    }
+    for i in instants {
+        let _ = write!(
+            out,
+            ",\n{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"name\":\"{}\",\
+             \"cat\":\"instant\",\"s\":\"t\"}}",
+            i.tid,
+            i.ts_us,
+            json_escape(i.name),
         );
     }
     for (name, value) in counters {
@@ -150,6 +172,24 @@ mod tests {
         assert!(one.contains("\"name\":\"b\""));
         assert!(one.contains("\"path\":\"a/b\""));
         assert!(one.contains("\"ph\":\"C\""));
+    }
+
+    #[test]
+    fn full_trace_renders_instants_and_degenerates_without_them() {
+        let events = vec![SpanEvent { path: "a".into(), tid: 1, ts_us: 0, dur_us: 2 }];
+        let counters = vec![("c".to_string(), 1u64)];
+        let instants =
+            vec![InstantEvent { name: "diag.anomaly.starvation", tid: 3, ts_us: 42 }];
+        let with = render_chrome_trace_full(&events, &instants, &counters);
+        assert!(with.contains("\"ph\":\"i\""));
+        assert!(with.contains("\"name\":\"diag.anomaly.starvation\""));
+        assert!(with.contains("\"ts\":42"));
+        // Empty instants must reproduce the legacy renderer byte-for-byte
+        // (the chrome-trace golden file depends on this).
+        assert_eq!(
+            render_chrome_trace_full(&events, &[], &counters),
+            render_chrome_trace(&events, &counters),
+        );
     }
 
     #[test]

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Forensics gate: the explain pipeline on the seed grid must emit a
+# schema-valid coflow-diagnostics/1 report with zero anomaly firings on
+# the clean grid, and the fault sweep must catch at least one starvation.
+# Validation uses the in-repo JSON parser via `experiments explain
+# --validate`; the golden small-workload report is covered separately by
+# `cargo test -p coflow-bench --test explain_golden` (regenerate with
+# GOLDEN_UPDATE=1 after intentional schema changes).
+set -eu
+cd "$(dirname "$0")/.."
+
+out_dir="${EXPLAIN_OUT_DIR:-target}"
+mkdir -p "$out_dir"
+
+cargo build --release -p coflow-bench
+
+# Clean grid: exits nonzero on any anomaly at or above warning.
+./target/release/experiments explain --out "$out_dir/diagnostics.json"
+./target/release/experiments explain --validate "$out_dir/diagnostics.json"
+
+# Fault sweep: requires >= 1 starvation firing (exits nonzero otherwise).
+./target/release/experiments explain --faults 0.1 --expect-starvation \
+    --out "$out_dir/diagnostics_faults.json"
+./target/release/experiments explain --validate "$out_dir/diagnostics_faults.json" \
+    --expect-starvation
+
+echo "check-explain: clean grid silent, fault sweep caught starvation"

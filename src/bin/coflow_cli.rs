@@ -3,13 +3,18 @@
 //! ```text
 //! coflow-cli <trace.{json,csv}> [--ports N] [--order H_A|H_rho|H_LP|H_size]
 //!            [--no-group] [--no-backfill] [--rematch] [--online]
-//!            [--analyze] [--emit-json] [--profile] [--trace-out PATH]
+//!            [--analyze] [--explain] [--emit-json] [--profile]
+//!            [--trace-out PATH]
 //! coflow-cli --generate <n> [--ports N] [--seed S]   # print a trace as CSV
 //! ```
 //!
 //! `--profile` enables the `obs` registry and prints the span/counter
 //! summary tree to stderr after scheduling; `--trace-out PATH` additionally
 //! writes a `chrome://tracing`-compatible JSON view (implies `--profile`).
+//!
+//! `--explain` solves the interval-indexed LP and prints per-coflow
+//! forensics — realized completion vs `C̄_k`, the wait/service split, and
+//! any anomaly-detector firings (see `coflow::diagnostics`).
 //!
 //! CSV format: `coflow_id,src,dst,mb,release,weight` (header optional).
 //! Exit code 0 on success; the schedule is validated end-to-end before any
@@ -32,6 +37,7 @@ struct Args {
     rematch: bool,
     online: bool,
     do_analyze: bool,
+    do_explain: bool,
     emit_json: bool,
     profile: bool,
     trace_out: Option<String>,
@@ -43,8 +49,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: coflow-cli <trace.json|trace.csv> [--ports N] \
          [--order H_A|H_rho|H_LP|H_size] [--no-group] [--no-backfill] \
-         [--rematch] [--online] [--analyze] [--emit-json] [--profile] \
-         [--trace-out PATH]\n\
+         [--rematch] [--online] [--analyze] [--explain] [--emit-json] \
+         [--profile] [--trace-out PATH]\n\
          \x20      coflow-cli --generate <n> [--ports N] [--seed S]"
     );
     exit(2)
@@ -60,6 +66,7 @@ fn parse_args() -> Args {
         rematch: false,
         online: false,
         do_analyze: false,
+        do_explain: false,
         emit_json: false,
         profile: false,
         trace_out: None,
@@ -89,6 +96,7 @@ fn parse_args() -> Args {
             "--rematch" => args.rematch = true,
             "--online" => args.online = true,
             "--analyze" => args.do_analyze = true,
+            "--explain" => args.do_explain = true,
             "--emit-json" => args.emit_json = true,
             "--profile" => args.profile = true,
             "--trace-out" => {
@@ -237,5 +245,42 @@ fn main() {
             a.fabric_utilization,
             a.idle_pair_slots
         );
+    }
+
+    if args.do_explain {
+        let lp = coflow::solve_interval_lp(&instance);
+        let d = coflow::diagnose(
+            &instance,
+            &outcome,
+            &lp,
+            &coflow::DiagnosticsConfig::default(),
+        );
+        println!(
+            "explain: objective {:.0} vs LP lower bound {:.0}{}",
+            d.objective,
+            d.lp_lower_bound,
+            d.approx_ratio
+                .map(|r| format!(" (ratio {:.3})", r))
+                .unwrap_or_default()
+        );
+        println!("coflow_id,completion,lp_completion,ratio,wait,service,idle_share");
+        for r in &d.per_coflow {
+            println!(
+                "{},{},{:.2},{},{},{},{:.3}",
+                instance.coflow(r.coflow).id,
+                r.completion.map_or("-".to_string(), |c| c.to_string()),
+                r.lp_completion,
+                r.ratio.map_or("-".to_string(), |x| format!("{:.3}", x)),
+                r.wait_slots,
+                r.service_slots,
+                r.idle_share
+            );
+        }
+        if d.anomalies.is_empty() {
+            println!("no anomalies detected");
+        }
+        for a in &d.anomalies {
+            println!("anomaly [{}] {}: {}", a.severity.name(), a.detector.name(), a.message);
+        }
     }
 }
