@@ -1,0 +1,165 @@
+//! Micro-benchmarks for the cross-layer hot-path kernels:
+//!
+//! * Hopcroft–Karp, cold start vs warm start from a surviving matching
+//!   (the incremental-BvN inner loop);
+//! * full BvN decomposition at the grid's port counts m ∈ {16, 60, 150};
+//! * schedule execution, run-length vs unit-slot, on both the clean fabric
+//!   (`Fabric::apply_run` vs `SlotSim`) and the fault executor
+//!   (`FaultSim::execute_trace` vs `execute_trace_slotwise`).
+//!
+//! Set `CRITERION_JSON=<file>` to append one JSON line per benchmark for
+//! the perf harness.
+
+use coflow_matching::{bvn_decompose, BipartiteGraph, HopcroftKarp, IntMatrix};
+use coflow_netsim::{Fabric, FaultEvent, FaultPlan, FaultSim, Run, ScheduleTrace, SlotSim, Transfer};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A decomposable demand matrix: a sum of `d` random permutation matrices
+/// with random positive coefficients (equal row and column sums by
+/// construction, so BvN needs no augmentation slack).
+fn balanced_matrix(m: usize, d: usize, rng: &mut StdRng) -> IntMatrix {
+    let mut mat = IntMatrix::zeros(m);
+    for _ in 0..d {
+        let mut perm: Vec<usize> = (0..m).collect();
+        for i in (1..m).rev() {
+            perm.swap(i, rng.gen_range(0..=i));
+        }
+        let coeff = rng.gen_range(1..=9u64);
+        for (i, &j) in perm.iter().enumerate() {
+            mat[(i, j)] += coeff;
+        }
+    }
+    mat
+}
+
+fn bench_hopcroft_karp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2015);
+    let m = 150;
+    let mat = balanced_matrix(m, 12, &mut rng);
+    let g = BipartiteGraph::support_of(&mat);
+    // The incremental-BvN access pattern: solve once, delete half the
+    // matched edges (a permutation slot leaving the support), then re-solve
+    // the survivor graph either cold or warm from the surviving pairs.
+    let mut warm = HopcroftKarp::new();
+    let mut g2 = g.clone();
+    let matched = warm.solve(&g2);
+    let pairs: Vec<(usize, usize)> = matched.pairs().collect();
+    for &(u, v) in pairs.iter().take(m / 2) {
+        g2.remove_edge(u, v);
+        warm.unmatch(u, v);
+    }
+    let mut group = c.benchmark_group("hk");
+    group.sample_size(40);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let mut hk = HopcroftKarp::new();
+            black_box(hk.solve(black_box(&g2)).size)
+        })
+    });
+    group.bench_function("warm_after_slot_removal", |b| {
+        b.iter(|| black_box(warm.clone().solve_warm(black_box(&g2)).size))
+    });
+    group.finish();
+}
+
+fn bench_bvn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bvn_decompose");
+    group.sample_size(20);
+    for &m in &[16usize, 60, 150] {
+        let mut rng = StdRng::seed_from_u64(42 + m as u64);
+        let mat = balanced_matrix(m, 10, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &mat, |b, mat| {
+            b.iter(|| black_box(bvn_decompose(black_box(mat))).slots.len())
+        });
+    }
+    group.finish();
+}
+
+/// One long-run schedule on a 60-port fabric: each of 40 coflows demands
+/// units across a rotating matching, held for a long run — the shape that
+/// used to cost a per-slot loop over the whole horizon.
+fn long_schedule(m: usize, n: usize) -> (ScheduleTrace, Vec<IntMatrix>, Vec<u64>) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut trace = ScheduleTrace::new(m);
+    let mut demands = vec![IntMatrix::zeros(m); n];
+    let mut start = 1u64;
+    for r in 0..24u64 {
+        let duration = 40 + (r % 5) * 25;
+        let shift = (r as usize * 7 + 1) % m;
+        let mut transfers = Vec::new();
+        for i in 0..m {
+            let j = (i + shift) % m;
+            let k = rng.gen_range(0..n);
+            let units = rng.gen_range(duration / 2..=duration);
+            demands[k][(i, j)] += units;
+            transfers.push(Transfer { src: i, dst: j, coflow: k, units });
+        }
+        trace.push_run(Run { start, duration, transfers });
+        start += duration;
+    }
+    (trace, demands, vec![0; n])
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let m = 60;
+    let (trace, demands, releases) = long_schedule(m, 40);
+    let plan = FaultPlan::new(vec![
+        FaultEvent::IngressOutage { port: 3, start: 50, end: 180 },
+        FaultEvent::EgressOutage { port: 11, start: 400, end: 520 },
+        FaultEvent::LinkDegraded { src: 5, dst: 5, start: 100, end: 900, stride: 3 },
+        FaultEvent::CoflowCancelled { coflow: 1, at: 300 },
+    ]);
+    let mut group = c.benchmark_group("execute");
+    group.sample_size(10);
+    group.bench_function("fault_runlength", |b| {
+        b.iter(|| {
+            let mut sim = FaultSim::new(m, &demands, &releases, plan.clone());
+            sim.execute_trace(black_box(&trace), None).expect("valid trace");
+            black_box(sim.blocked_units())
+        })
+    });
+    group.bench_function("fault_unit_slot", |b| {
+        b.iter(|| {
+            let mut sim = FaultSim::new(m, &demands, &releases, plan.clone());
+            sim.execute_trace_slotwise(black_box(&trace), None).expect("valid trace");
+            black_box(sim.blocked_units())
+        })
+    });
+    group.bench_function("fabric_runlength", |b| {
+        b.iter(|| {
+            let mut fabric = Fabric::new(m, &demands, &releases);
+            for run in &trace.runs {
+                let pairs: Vec<(usize, usize, Vec<usize>)> = run
+                    .transfers
+                    .iter()
+                    .map(|t| (t.src, t.dst, vec![t.coflow]))
+                    .collect();
+                fabric.apply_run(&pairs, run.duration);
+            }
+            black_box(fabric.now())
+        })
+    });
+    group.bench_function("fabric_unit_slot", |b| {
+        b.iter(|| {
+            let mut sim = SlotSim::new(m, &demands, &releases);
+            trace.for_each_slot(|_, moves| sim.step(moves));
+            black_box(sim.now())
+        })
+    });
+    group.finish();
+
+    // The two fault executors must agree before their timings mean anything.
+    let mut a = FaultSim::new(m, &demands, &releases, plan.clone());
+    let mut b = FaultSim::new(m, &demands, &releases, plan);
+    a.execute_trace(&trace, None).expect("valid trace");
+    b.execute_trace_slotwise(&trace, None).expect("valid trace");
+    let (ta, ca, _) = a.finish();
+    let (tb, cb, _) = b.finish();
+    assert_eq!(ta, tb, "run-length and unit-slot executed traces must match");
+    assert_eq!(ca, cb);
+}
+
+criterion_group!(benches, bench_hopcroft_karp, bench_bvn, bench_execution);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [table1|fig2a|fig2b|lpexp|ratios|all] [--seed N]
 //! experiments profile [--out PATH] [--trace PATH] [--baseline PATH]
-//!                     [--tolerance F] [--full] [--seed N]
+//!                     [--tolerance F] [--full] [--sequential] [--seed N]
 //! experiments explain [--out PATH] [--svg PATH] [--trace PATH]
 //!                     [--faults RATE] [--severity LEVEL]
 //!                     [--expect-starvation] [--validate PATH] [--seed N]
@@ -11,7 +11,7 @@
 //!
 //! `profile` runs the 12-cell grid with the `obs` registry enabled and
 //! writes a per-stage timing/counter report (`BENCH_grid.json`, schema
-//! `coflow-bench-grid/1`). With `--baseline` it diffs against a committed
+//! `coflow-bench-grid/2`). With `--baseline` it diffs against a committed
 //! report and exits 1 on a per-stage regression beyond `--tolerance`
 //! (default 0.2 = +20%); `--trace` additionally writes a chrome://tracing
 //! view of the last cell; `--full` profiles the paper's 150-port fabric
@@ -49,6 +49,7 @@ struct ProfileArgs {
     baseline: Option<String>,
     tolerance: f64,
     full: bool,
+    sequential: bool,
 }
 
 impl Default for ProfileArgs {
@@ -59,6 +60,7 @@ impl Default for ProfileArgs {
             baseline: None,
             tolerance: 0.2,
             full: false,
+            sequential: false,
         }
     }
 }
@@ -164,6 +166,7 @@ fn main() {
                 };
             }
             "--full" => profile_args.full = true,
+            "--sequential" => profile_args.sequential = true,
             other => which = other.to_string(),
         }
     }
@@ -233,7 +236,7 @@ fn profile(seed: u64, args: &ProfileArgs) {
         stall_window: Some(40_000),
         ..SimplexOptions::default()
     };
-    let report = run_profile(&inst, seed, &lp_opts);
+    let report = run_profile(&inst, seed, &lp_opts, args.sequential);
     print!("{}", render_profile(&report));
 
     if let Some(trace_path) = &args.trace {

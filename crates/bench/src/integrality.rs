@@ -45,7 +45,7 @@ pub fn run_integrality(instance: &Instance) -> IntegralityReport {
         ExecOptions {
             backfill: true,
             rematch: true,
-            maxmin_decomposition: false,
+            ..ExecOptions::default()
         },
     );
     IntegralityReport {

@@ -4,7 +4,7 @@
 //! {a, b, c, d}) with the `obs` registry enabled and reports, per cell,
 //! the wall-clock spent in each pipeline stage plus the solver/matching
 //! counters. The report serializes to `BENCH_grid.json` (schema
-//! `coflow-bench-grid/1`, documented in DESIGN.md) and a committed
+//! `coflow-bench-grid/2`, documented in DESIGN.md) and a committed
 //! baseline can be diffed against a fresh run to catch per-stage
 //! regressions (`scripts/bench-baseline.sh`).
 //!
@@ -12,7 +12,7 @@
 //! `reset()`/`snapshot()` window is what makes the attribution exact.
 
 use coflow::ordering::{try_compute_order_with, OrderRule};
-use coflow::sched::run_with_order;
+use coflow::sched::{run_with_order_opts, ExecOptions};
 use coflow::Instance;
 use coflow_lp::SimplexOptions;
 use coflow_workloads::json::{self, fmt_f64, JsonValue};
@@ -22,32 +22,59 @@ use std::time::Instant;
 use crate::grid::{case_label, CASES};
 
 /// Schema tag written into every report; bump on breaking layout changes.
-pub const SCHEMA: &str = "coflow-bench-grid/1";
+///
+/// `/2` reports **exclusive** self-times: each stage counts only the time
+/// inside its own spans, with nested reported stages subtracted (in `/1`,
+/// `order` swallowed `lp_build` + `lp_solve` for the `H_LP` cells). The
+/// `other` bucket absorbs un-instrumented work, so in single-threaded runs
+/// the stages sum to `total`; under the parallel decomposition path,
+/// `decompose` is CPU time summed across workers and the stage sum may
+/// exceed the wall-clock `total`.
+pub const SCHEMA: &str = "coflow-bench-grid/2";
 
 /// The pipeline stages extracted from span leaf names, in report order.
 /// `decompose` sums the greedy and max-min BvN variants.
-pub const STAGES: [&str; 6] = [
+pub const STAGES: [&str; 7] = [
     "lp_build",
     "lp_solve",
     "order",
     "decompose",
     "simulate",
+    "other",
     "total",
 ];
 
-/// Per-stage wall-clock of one cell, milliseconds.
+/// Span leaves that map to reported stages; used to compute exclusive
+/// self-times (a leaf nested under another reported leaf is attributed to
+/// itself and subtracted from the nearest reported ancestor).
+const REPORTED_LEAVES: [&str; 6] = [
+    "lp.build_model",
+    "lp.solve",
+    "sched.order",
+    "matching.bvn_decompose",
+    "matching.bvn_decompose_maxmin",
+    "sched.simulate",
+];
+
+/// Per-stage wall-clock of one cell, milliseconds (exclusive self-times).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StageTimings {
     /// Interval-LP model construction (`lp.build_model`).
     pub lp_build_ms: f64,
-    /// Simplex solves (`lp.solve`).
+    /// Simplex solves (`lp.solve`); near zero when the basis cache answers
+    /// from an exact hit.
     pub lp_solve_ms: f64,
-    /// Ordering stage end to end (`sched.order`, includes the LP for H_LP).
+    /// Ordering stage self-time (`sched.order` minus the nested LP build
+    /// and solve).
     pub order_ms: f64,
-    /// BvN decompositions (`matching.bvn_decompose[_maxmin]`).
+    /// BvN decompositions (`matching.bvn_decompose[_maxmin]`); CPU time
+    /// summed across workers under the parallel path.
     pub decompose_ms: f64,
     /// Switch simulation (`sched.simulate`).
     pub simulate_ms: f64,
+    /// Un-instrumented remainder: `total` minus the other stages, clamped
+    /// at zero (parallel decompose can push the stage sum past `total`).
+    pub other_ms: f64,
     /// Whole cell, measured directly around order + schedule.
     pub total_ms: f64,
 }
@@ -61,6 +88,7 @@ impl StageTimings {
             "order" => self.order_ms,
             "decompose" => self.decompose_ms,
             "simulate" => self.simulate_ms,
+            "other" => self.other_ms,
             "total" => self.total_ms,
             other => panic!("unknown stage '{}'", other),
         }
@@ -103,11 +131,15 @@ pub struct ProfileReport {
 ///
 /// Each cell gets a fresh registry window (`obs::reset` + enable), runs
 /// ordering and scheduling sequentially, and snapshots its stage spans and
-/// counters. Recording is left disabled afterwards.
+/// counters. Recording is left disabled afterwards. `sequential` forces
+/// [`ExecOptions::sequential_decompose`], pinning the per-batch BvN
+/// decompositions to one thread — the threads = 1 leg of the speedup
+/// table in EXPERIMENTS.md (outputs are identical either way).
 pub fn run_profile(
     instance: &Instance,
     seed: u64,
     lp_opts: &SimplexOptions,
+    sequential: bool,
 ) -> ProfileReport {
     let mut cells = Vec::with_capacity(OrderRule::PAPER_RULES.len() * CASES.len());
     for &rule in &OrderRule::PAPER_RULES {
@@ -119,7 +151,12 @@ pub fn run_profile(
                 Ok(order) => order,
                 Err(e) => panic!("profile: {:?} order failed: {}", rule, e),
             };
-            let outcome = run_with_order(instance, order, grouping, backfill);
+            let outcome = run_with_order_opts(
+                instance,
+                order,
+                grouping,
+                ExecOptions { backfill, sequential_decompose: sequential, ..ExecOptions::default() },
+            );
             let total_ms = cell_start.elapsed().as_secs_f64() * 1e3;
             let snap = obs::snapshot();
             obs::set_enabled(false);
@@ -129,14 +166,26 @@ pub fn run_profile(
                 backfill,
                 objective: outcome.objective,
                 makespan: outcome.makespan(),
-                stages: StageTimings {
-                    lp_build_ms: snap.span_total_ms("lp.build_model"),
-                    lp_solve_ms: snap.span_total_ms("lp.solve"),
-                    order_ms: snap.span_total_ms("sched.order"),
-                    decompose_ms: snap.span_total_ms("matching.bvn_decompose")
-                        + snap.span_total_ms("matching.bvn_decompose_maxmin"),
-                    simulate_ms: snap.span_total_ms("sched.simulate"),
-                    total_ms,
+                stages: {
+                    let self_ms =
+                        |leaf: &str| snap.span_self_ms(leaf, &REPORTED_LEAVES);
+                    let lp_build_ms = self_ms("lp.build_model");
+                    let lp_solve_ms = self_ms("lp.solve");
+                    let order_ms = self_ms("sched.order");
+                    let decompose_ms = self_ms("matching.bvn_decompose")
+                        + self_ms("matching.bvn_decompose_maxmin");
+                    let simulate_ms = self_ms("sched.simulate");
+                    let accounted =
+                        lp_build_ms + lp_solve_ms + order_ms + decompose_ms + simulate_ms;
+                    StageTimings {
+                        lp_build_ms,
+                        lp_solve_ms,
+                        order_ms,
+                        decompose_ms,
+                        simulate_ms,
+                        other_ms: (total_ms - accounted).max(0.0),
+                        total_ms,
+                    }
                 },
                 counters: {
                     let mut counters = snap.counters;
@@ -159,7 +208,7 @@ pub fn run_profile(
     }
 }
 
-/// Serializes `report` as `coflow-bench-grid/1` JSON.
+/// Serializes `report` as `coflow-bench-grid/2` JSON.
 pub fn render_json(report: &ProfileReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -264,9 +313,10 @@ pub const ABS_FLOOR_MS: f64 = 10.0;
 /// Counter keys the report guarantees in every cell, zero-filled when the
 /// cell never touched them (H_A/H_ρ cells solve no LP; a presolve pass may
 /// eliminate nothing).
-pub const REQUIRED_COUNTERS: [&str; 4] = [
+pub const REQUIRED_COUNTERS: [&str; 5] = [
     "lp.simplex.pivots",
     "lp.presolve.rows_removed",
+    "lp.basis_cache.exact_hits",
     "matching.bvn.permutations",
     "netsim.fabric.slots",
 ];
@@ -321,13 +371,14 @@ pub fn render_profile(report: &ProfileReport) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<6} {:<4} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "order", "case", "objective", "lp_build", "lp_solve", "order", "decomp", "simulate", "total"
+        "{:<6} {:<4} {:>12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "order", "case", "objective", "lp_build", "lp_solve", "order", "decomp", "simulate",
+        "other", "total"
     );
     for c in &report.cells {
         let _ = writeln!(
             out,
-            "{:<6} {:<4} {:>12.0} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            "{:<6} {:<4} {:>12.0} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
             c.order.name(),
             case_label(c.grouping, c.backfill),
             c.objective,
@@ -336,6 +387,7 @@ pub fn render_profile(report: &ProfileReport) -> String {
             c.stages.order_ms,
             c.stages.decompose_ms,
             c.stages.simulate_ms,
+            c.stages.other_ms,
             c.stages.total_ms,
         );
     }
@@ -349,7 +401,7 @@ mod tests {
 
     fn tiny_report() -> ProfileReport {
         let inst = generate_trace(&TraceConfig::small(7));
-        run_profile(&inst, 7, &SimplexOptions::default())
+        run_profile(&inst, 7, &SimplexOptions::default(), false)
     }
 
     #[test]
@@ -377,12 +429,47 @@ mod tests {
             assert!(counter("matching.bvn.permutations").unwrap_or(0) > 0);
             assert!(counter("netsim.fabric.slots").unwrap_or(0) > 0);
             if cell.order == OrderRule::LpBased {
+                // An H_LP cell either solved the interval LP (pivots) or
+                // got the stored solution from the process-global basis
+                // cache (exact hit) — identical output either way.
                 assert!(
-                    counter("lp.simplex.pivots").unwrap_or(0) > 0,
-                    "H_LP cells must record simplex pivots"
+                    counter("lp.simplex.pivots").unwrap_or(0) > 0
+                        || counter("lp.basis_cache.exact_hits").unwrap_or(0) > 0,
+                    "H_LP cells must record pivots or a basis-cache hit"
                 );
-                assert!(cell.stages.lp_solve_ms > 0.0);
             }
+        }
+    }
+
+    #[test]
+    fn exclusive_stages_sum_to_total_within_parallel_slack() {
+        // Schema /2 invariant: the ordering stage no longer swallows the LP
+        // stages, and the `other` bucket absorbs un-instrumented work, so
+        // the non-total stages account for at most `total` plus the CPU
+        // time the parallel decompose path sums across workers.
+        let report = tiny_report();
+        for cell in &report.cells {
+            let s = &cell.stages;
+            let sum = s.lp_build_ms + s.lp_solve_ms + s.order_ms + s.decompose_ms
+                + s.simulate_ms
+                + s.other_ms;
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get() as f64)
+                .unwrap_or(1.0);
+            assert!(
+                sum <= s.total_ms.max(0.05) * (1.0 + threads) + 1.0,
+                "stage sum {sum} implausible vs total {} ({:?} case {})",
+                s.total_ms,
+                cell.order,
+                crate::grid::case_label(cell.grouping, cell.backfill),
+            );
+            // The /1 bug: order included lp_build + lp_solve. Exclusive
+            // accounting keeps them disjoint, so their sum fits in total
+            // (all three are main-thread wall clock).
+            assert!(
+                s.order_ms + s.lp_build_ms + s.lp_solve_ms <= s.total_ms + 1.0,
+                "order must not double-count the LP stages"
+            );
         }
     }
 

@@ -19,10 +19,10 @@ use crate::grouping::{group_by_doubling, group_by_grid};
 use crate::instance::Instance;
 use crate::intervals::GeometricGrid;
 use crate::ordering::{compute_order, OrderRule};
-use coflow_matching::{bvn_decompose, IntMatrix};
+use coflow_matching::{bvn_decompose, BvnDecomposition, IntMatrix};
 use coflow_netsim::{Fabric, ScheduleTrace};
 use rand::Rng;
-use std::collections::HashMap;
+use rayon::prelude::*;
 
 /// One cell of the §4 experiment grid.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -95,6 +95,10 @@ pub struct ExecOptions {
     /// ([`coflow_matching::bvn_decompose_maxmin`]): same ρ slots, far fewer
     /// distinct matchings (fabric reconfigurations).
     pub maxmin_decomposition: bool,
+    /// Force the per-batch decompositions to run serially inside the batch
+    /// loop even when the parallel precompute would apply. Exists so tests
+    /// and benchmarks can compare the two paths; outputs are identical.
+    pub sequential_decompose: bool,
 }
 
 /// Runs the scheduling stage with an externally supplied order.
@@ -144,7 +148,7 @@ pub fn run_with_order_ext(
         ExecOptions {
             backfill,
             rematch,
-            maxmin_decomposition: false,
+            ..ExecOptions::default()
         },
     )
 }
@@ -210,8 +214,10 @@ pub(crate) fn execute_batches(
         backfill,
         rematch,
         maxmin_decomposition,
+        sequential_decompose,
     } = opts;
     let n = instance.len();
+    let m = instance.ports();
     let demands = instance.demand_matrices();
     let releases = instance.releases();
     let mut fabric = Fabric::new(instance.ports(), &demands, &releases);
@@ -224,15 +230,69 @@ pub(crate) fn execute_batches(
     debug_assert!(pos.iter().all(|&p| p != usize::MAX), "order must be a permutation");
 
     // Per-pair coflow queues in global order: candidates for service on a
-    // pair, scanned front to back (finished coflows are skipped in O(1)).
-    let mut pair_queue: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+    // pair, indexed by `i * m + j` and scanned front to back. `pair_head`
+    // remembers how far each queue's prefix of pair-finished coflows
+    // reaches — `remaining(k, i, j)` only ever decreases, so the trim is
+    // permanent and the skipped prefix can never become a candidate again.
+    let mut pair_queue: Vec<Vec<usize>> = vec![Vec::new(); m * m];
+    let mut pair_head: Vec<usize> = vec![0; m * m];
     for &k in &order {
         for (i, j, _) in instance.coflow(k).demand.nonzero_entries() {
-            pair_queue.entry((i, j)).or_default().push(k);
+            pair_queue[i * m + j].push(k);
         }
     }
 
-    for batch in batches {
+    // Without backfilling or rematching, no coflow receives service before
+    // its own batch runs (the eligibility gate `pos[k] <= batch_end_pos`
+    // rejects members of later batches), so every batch's remaining demand
+    // at its turn equals its full demand. The per-batch aggregates — and
+    // hence the Birkhoff–von Neumann decompositions, by far the hottest
+    // per-batch work — are then independent of execution order and can be
+    // computed up front, fanned out over worker threads. Result order is
+    // deterministic: the parallel map preserves input order.
+    let parallel_decompose = !backfill && !rematch && !sequential_decompose;
+    let mut precomputed: Vec<Option<BvnDecomposition>> = if parallel_decompose {
+        let aggregates: Vec<Option<IntMatrix>> = batches
+            .iter()
+            .map(|batch| {
+                let mut agg = IntMatrix::zeros(m);
+                for &k in batch {
+                    for (i, j, v) in instance.coflow(k).demand.nonzero_entries() {
+                        agg[(i, j)] += v;
+                    }
+                }
+                if agg.is_zero() {
+                    None
+                } else {
+                    Some(agg)
+                }
+            })
+            .collect();
+        aggregates
+            .par_iter()
+            .map(|agg| {
+                agg.as_ref().map(|a| {
+                    if maxmin_decomposition {
+                        coflow_matching::bvn_decompose_maxmin(a)
+                    } else {
+                        bvn_decompose(a)
+                    }
+                })
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    // Reused across batches and chunks: the planned run (per-pair candidate
+    // lists), a spare-buffer pool for those lists, and the rematch port
+    // occupancy masks.
+    let mut pairs: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+    let mut spare: Vec<Vec<usize>> = Vec::new();
+    let mut src_used = vec![false; m];
+    let mut dst_used = vec![false; m];
+
+    for (b_idx, batch) in batches.iter().enumerate() {
         if batch.is_empty() {
             continue;
         }
@@ -257,22 +317,31 @@ pub(crate) fn execute_batches(
             .max()
             .unwrap_or_else(|| unreachable!("batch checked non-empty above"));
 
-        // Aggregate the *remaining* demand of the batch (earlier backfilling
-        // may have partially cleared it).
-        let mut agg = IntMatrix::zeros(instance.ports());
-        for &k in batch {
-            for (i, j, _) in instance.coflow(k).demand.nonzero_entries() {
-                agg[(i, j)] += fabric.remaining(k, i, j);
+        let dec = if parallel_decompose {
+            match precomputed[b_idx].take() {
+                Some(dec) => dec,
+                // The precompute saw a zero aggregate, which (without
+                // backfill) also means `batch_release` above was `None`;
+                // this arm is unreachable but harmless.
+                None => continue,
             }
-        }
-        if agg.is_zero() {
-            continue;
-        }
-
-        let dec = if maxmin_decomposition {
-            coflow_matching::bvn_decompose_maxmin(&agg)
         } else {
-            bvn_decompose(&agg)
+            // Aggregate the *remaining* demand of the batch (earlier
+            // backfilling may have partially cleared it).
+            let mut agg = IntMatrix::zeros(m);
+            for &k in batch {
+                for (i, j, _) in instance.coflow(k).demand.nonzero_entries() {
+                    agg[(i, j)] += fabric.remaining(k, i, j);
+                }
+            }
+            if agg.is_zero() {
+                continue;
+            }
+            if maxmin_decomposition {
+                coflow_matching::bvn_decompose_maxmin(&agg)
+            } else {
+                bvn_decompose(&agg)
+            }
         };
 
         // Order the decomposition's matchings so the group's coflows
@@ -360,22 +429,39 @@ pub(crate) fn execute_batches(
             let eligible = |k: usize| {
                 instance.coflow(k).release <= now && (pos[k] <= batch_end_pos || backfill)
             };
-            let mut pairs: Vec<(usize, usize, Vec<usize>)> =
-                Vec::with_capacity(instance.ports());
-            let mut src_used = vec![false; instance.ports()];
-            let mut dst_used = vec![false; instance.ports()];
+            // Recycle the previous chunk's candidate buffers instead of
+            // reallocating one per pair per chunk.
+            for (_, _, mut buf) in pairs.drain(..) {
+                buf.clear();
+                spare.push(buf);
+            }
+            if rematch {
+                src_used.fill(false);
+                dst_used.fill(false);
+            }
             for (i, j) in slot.perm.pairs() {
-                let Some(queue) = pair_queue.get(&(i, j)) else {
+                let head = &mut pair_head[i * m + j];
+                let queue = &pair_queue[i * m + j];
+                while *head < queue.len() && fabric.remaining(queue[*head], i, j) == 0 {
+                    *head += 1;
+                }
+                if *head == queue.len() {
                     continue;
-                };
-                let candidates: Vec<usize> = queue
-                    .iter()
-                    .copied()
-                    .filter(|&k| eligible(k) && fabric.remaining(k, i, j) > 0)
-                    .collect();
-                if !candidates.is_empty() {
-                    src_used[i] = true;
-                    dst_used[j] = true;
+                }
+                let mut candidates = spare.pop().unwrap_or_default();
+                candidates.extend(
+                    queue[*head..]
+                        .iter()
+                        .copied()
+                        .filter(|&k| eligible(k) && fabric.remaining(k, i, j) > 0),
+                );
+                if candidates.is_empty() {
+                    spare.push(candidates);
+                } else {
+                    if rematch {
+                        src_used[i] = true;
+                        dst_used[j] = true;
+                    }
                     pairs.push((i, j, candidates));
                 }
             }
@@ -391,11 +477,13 @@ pub(crate) fn execute_batches(
                         if !src_used[i] && !dst_used[j] && fabric.remaining(k, i, j) > 0 {
                             src_used[i] = true;
                             dst_used[j] = true;
-                            let candidates: Vec<usize> = pair_queue[&(i, j)]
-                                .iter()
-                                .copied()
-                                .filter(|&c| eligible(c) && fabric.remaining(c, i, j) > 0)
-                                .collect();
+                            let mut candidates = spare.pop().unwrap_or_default();
+                            candidates.extend(
+                                pair_queue[i * m + j]
+                                    .iter()
+                                    .copied()
+                                    .filter(|&c| eligible(c) && fabric.remaining(c, i, j) > 0),
+                            );
                             pairs.push((i, j, candidates));
                         }
                     }

@@ -1,0 +1,149 @@
+//! The parallel per-batch decomposition precompute must be outcome-identical
+//! to the sequential in-loop path: same completions, same objective, and a
+//! byte-identical `ScheduleTrace`. The precompute only applies when neither
+//! backfilling nor rematching is active (then no coflow is served before its
+//! own batch, so each batch's remaining demand equals its full demand); these
+//! tests pin that equivalence across orders, grouping, and both BvN variants.
+
+use coflow::ordering::OrderRule;
+use coflow::sched::{run_with_order_opts, ExecOptions, ScheduleOutcome};
+use coflow::{compute_order, Coflow, Instance};
+use coflow_matching::IntMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_instance(m: usize, n: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coflows = (0..n)
+        .map(|id| {
+            let mut d = IntMatrix::zeros(m);
+            for i in 0..m {
+                for j in 0..m {
+                    if rng.gen_bool(0.4) {
+                        d[(i, j)] = rng.gen_range(1..=9);
+                    }
+                }
+            }
+            if d.is_zero() {
+                d[(rng.gen_range(0..m), rng.gen_range(0..m))] = rng.gen_range(1..=9);
+            }
+            Coflow::new(id, d)
+                .with_release(rng.gen_range(0..=6))
+                .with_weight(rng.gen_range(0.5..4.0))
+        })
+        .collect();
+    Instance::new(m, coflows)
+}
+
+fn assert_same_outcome(seq: &ScheduleOutcome, par: &ScheduleOutcome, ctx: &str) {
+    assert_eq!(seq.completions, par.completions, "completions differ: {ctx}");
+    assert_eq!(seq.objective, par.objective, "objective differs: {ctx}");
+    assert_eq!(seq.trace, par.trace, "trace differs: {ctx}");
+}
+
+fn run_pair(
+    inst: &Instance,
+    order: &[usize],
+    grouping: bool,
+    maxmin: bool,
+) -> (ScheduleOutcome, ScheduleOutcome) {
+    let base = ExecOptions {
+        maxmin_decomposition: maxmin,
+        ..ExecOptions::default()
+    };
+    let seq = run_with_order_opts(
+        inst,
+        order.to_vec(),
+        grouping,
+        ExecOptions {
+            sequential_decompose: true,
+            ..base
+        },
+    );
+    let par = run_with_order_opts(inst, order.to_vec(), grouping, base);
+    (seq, par)
+}
+
+#[test]
+fn parallel_precompute_matches_sequential_across_grid() {
+    for seed in 0..8 {
+        let inst = random_instance(5, 16, seed);
+        for rule in [OrderRule::Arrival, OrderRule::LoadOverWeight] {
+            let order = compute_order(&inst, rule);
+            for grouping in [false, true] {
+                let (seq, par) = run_pair(&inst, &order, grouping, false);
+                assert_same_outcome(
+                    &seq,
+                    &par,
+                    &format!("seed {seed} rule {rule:?} grouping {grouping}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_precompute_matches_sequential_with_lp_order() {
+    let inst = random_instance(4, 12, 99);
+    let order = compute_order(&inst, OrderRule::LpBased);
+    for grouping in [false, true] {
+        let (seq, par) = run_pair(&inst, &order, grouping, false);
+        assert_same_outcome(&seq, &par, &format!("lp order grouping {grouping}"));
+    }
+}
+
+#[test]
+fn parallel_precompute_matches_sequential_with_maxmin() {
+    for seed in 0..4 {
+        let inst = random_instance(5, 10, 1000 + seed);
+        let order = compute_order(&inst, OrderRule::LoadOverWeight);
+        for grouping in [false, true] {
+            let (seq, par) = run_pair(&inst, &order, grouping, true);
+            assert_same_outcome(
+                &seq,
+                &par,
+                &format!("maxmin seed {seed} grouping {grouping}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn backfill_and_rematch_paths_are_unaffected_by_the_flag() {
+    // With backfill or rematch active the precompute is disabled, so the
+    // flag must be a no-op there.
+    let inst = random_instance(5, 12, 7);
+    let order = compute_order(&inst, OrderRule::LoadOverWeight);
+    for (backfill, rematch) in [(true, false), (false, true), (true, true)] {
+        let base = ExecOptions {
+            backfill,
+            rematch,
+            ..ExecOptions::default()
+        };
+        let a = run_with_order_opts(&inst, order.clone(), true, base);
+        let b = run_with_order_opts(
+            &inst,
+            order.clone(),
+            true,
+            ExecOptions {
+                sequential_decompose: true,
+                ..base
+            },
+        );
+        assert_same_outcome(&a, &b, &format!("backfill {backfill} rematch {rematch}"));
+    }
+}
+
+#[test]
+fn zero_demand_batches_are_skipped_identically() {
+    // A zero-demand coflow forms an all-zero singleton batch; both paths
+    // must skip it without touching the clock.
+    let c0 = Coflow::new(0, IntMatrix::from_nested(&[[2, 0], [0, 1]]));
+    let c1 = Coflow::new(1, IntMatrix::zeros(2)).with_release(50);
+    let c2 = Coflow::new(2, IntMatrix::from_nested(&[[0, 3], [1, 0]]));
+    let inst = Instance::new(2, vec![c0, c1, c2]);
+    for grouping in [false, true] {
+        let (seq, par) = run_pair(&inst, &[0, 1, 2], grouping, false);
+        assert_same_outcome(&seq, &par, &format!("zero-demand grouping {grouping}"));
+    }
+}

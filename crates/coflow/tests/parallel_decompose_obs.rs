@@ -1,0 +1,84 @@
+//! Span/counter integrity under the parallel decomposition path.
+//!
+//! This file holds exactly one test and therefore gets its own process: the
+//! `obs` registry is process-global, so enabling it here cannot race with
+//! unrelated instrumented tests. Worker threads record into the same
+//! registry via thread-local span stacks, so the parallel path must produce
+//! the same aggregate counters and span counts as the sequential one.
+
+use coflow::ordering::OrderRule;
+use coflow::sched::{run_with_order_opts, ExecOptions};
+use coflow::{compute_order, Coflow, Instance};
+use coflow_matching::IntMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_instance(m: usize, n: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coflows = (0..n)
+        .map(|id| {
+            let mut d = IntMatrix::zeros(m);
+            for i in 0..m {
+                for j in 0..m {
+                    if rng.gen_bool(0.4) {
+                        d[(i, j)] = rng.gen_range(1..=9);
+                    }
+                }
+            }
+            if d.is_zero() {
+                d[(rng.gen_range(0..m), rng.gen_range(0..m))] = rng.gen_range(1..=9);
+            }
+            Coflow::new(id, d).with_weight(rng.gen_range(0.5..4.0))
+        })
+        .collect();
+    Instance::new(m, coflows)
+}
+
+#[test]
+fn parallel_path_preserves_obs_counters_and_spans() {
+    let inst = random_instance(6, 24, 42);
+    let order = compute_order(&inst, OrderRule::LoadOverWeight);
+
+    let observe = |sequential: bool| {
+        obs::reset();
+        obs::set_enabled(true);
+        let out = run_with_order_opts(
+            &inst,
+            order.clone(),
+            false,
+            ExecOptions {
+                sequential_decompose: sequential,
+                ..ExecOptions::default()
+            },
+        );
+        obs::set_enabled(false);
+        let snap = obs::snapshot();
+        (out, snap)
+    };
+
+    let (seq_out, seq) = observe(true);
+    let (par_out, par) = observe(false);
+    assert_eq!(seq_out.completions, par_out.completions);
+    assert_eq!(seq_out.trace, par_out.trace);
+
+    for counter in [
+        "matching.bvn.permutations",
+        "coflow.sched.batches",
+        "netsim.fabric.slots",
+        "matching.hk.augmenting_paths",
+    ] {
+        assert_eq!(
+            seq.counter(counter),
+            par.counter(counter),
+            "counter {counter} must not change under the parallel path"
+        );
+        assert!(seq.counter(counter) > 0, "counter {counter} must be live");
+    }
+    // Every batch decomposes exactly once on both paths. Span *totals* are
+    // CPU time summed across workers, so only the counts are comparable.
+    assert_eq!(
+        seq.span_count("matching.bvn_decompose"),
+        par.span_count("matching.bvn_decompose"),
+        "one decompose span per nonzero batch on both paths"
+    );
+}

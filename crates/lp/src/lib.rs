@@ -28,6 +28,7 @@
 // Library code must justify every panic: unwraps/expects surface as clippy
 // warnings (tests and benches are exempt via the cfg gate).
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+pub mod cache;
 pub mod error;
 pub mod lu;
 pub mod model;
@@ -36,8 +37,11 @@ pub mod simplex;
 pub mod sparse;
 pub mod verify;
 
+pub use cache::{global_cache, try_solve_cached, try_solve_cached_warm, BasisCache};
 pub use error::LpError;
 pub use model::{Constraint, Model, RowId, Sense, Solution, Status, VarId};
-pub use simplex::{solve, solve_with, try_solve, try_solve_with, SimplexOptions};
+pub use simplex::{
+    solve, solve_with, try_solve, try_solve_with, try_solve_with_warm, SimplexOptions, WarmStart,
+};
 pub use sparse::{CscMatrix, TripletBuilder};
 pub use verify::{certify, Certificate};

@@ -60,6 +60,14 @@ pub struct SimplexOptions {
     pub presolve: bool,
     /// Force Bland's rule from the first pivot (ablation / debugging).
     pub always_bland: bool,
+    /// Partial pricing block size (`None`: full Dantzig scan). When set,
+    /// pricing scans columns in blocks of this size starting from a rotating
+    /// cursor and enters the best candidate of the first block containing
+    /// one, cutting the per-pivot scan from `O(n)` to `O(block)` on
+    /// wide models. **Changes the pivot sequence**: alternate optima may
+    /// surface a different vertex, so this is opt-in and must stay off for
+    /// any pipeline whose downstream output is golden-tested.
+    pub partial_pricing: Option<usize>,
 }
 
 impl Default for SimplexOptions {
@@ -76,6 +84,7 @@ impl Default for SimplexOptions {
             degeneracy_patience: 60,
             presolve: true,
             always_bland: false,
+            partial_pricing: None,
         }
     }
 }
@@ -158,6 +167,8 @@ struct Engine<'a> {
     opts: &'a SimplexOptions,
     iterations: usize,
     scratch: Vec<f64>,
+    /// Rotating start column for partial pricing.
+    pricing_cursor: usize,
 }
 
 /// Outcome of one phase.
@@ -282,25 +293,57 @@ impl<'a> Engine<'a> {
 
             let use_bland = self.opts.always_bland
                 || degenerate_run >= self.opts.degeneracy_patience;
+            let price = |engine: &Engine, j: usize| -> Option<f64> {
+                if engine.in_basis[j] {
+                    return None;
+                }
+                if !allow_artificial_entering && engine.kind[j] == ColKind::Artificial {
+                    return None;
+                }
+                let rj = costs[j] - engine.a.column_dot(j, &y);
+                (rj < -engine.opts.opt_tol).then_some(rj)
+            };
+            let n_cols = self.a.cols();
             let mut entering: Option<(usize, f64)> = None;
-            for j in 0..self.a.cols() {
-                if self.in_basis[j] {
-                    continue;
-                }
-                if !allow_artificial_entering && self.kind[j] == ColKind::Artificial {
-                    continue;
-                }
-                let rj = costs[j] - self.a.column_dot(j, &y);
-                if rj < -self.opts.opt_tol {
-                    match entering {
-                        None => entering = Some((j, rj)),
-                        Some((_, best)) if !use_bland && rj < best => {
-                            entering = Some((j, rj));
+            match self.opts.partial_pricing.filter(|_| !use_bland) {
+                Some(block) if block > 0 && block < n_cols => {
+                    // Partial pricing: walk blocks from the rotating cursor
+                    // and take the best candidate of the first block that
+                    // has one; a full fruitless wrap certifies optimality.
+                    let mut scanned = 0;
+                    let mut j = self.pricing_cursor % n_cols;
+                    while scanned < n_cols && entering.is_none() {
+                        let block_end = (scanned + block).min(n_cols);
+                        while scanned < block_end {
+                            if let Some(rj) = price(self, j) {
+                                match entering {
+                                    Some((_, best)) if rj >= best => {}
+                                    _ => entering = Some((j, rj)),
+                                }
+                            }
+                            j = (j + 1) % n_cols;
+                            scanned += 1;
                         }
-                        _ => {}
                     }
-                    if use_bland {
-                        break; // Bland: first improving index.
+                    if entering.is_some() {
+                        self.pricing_cursor = j;
+                    }
+                }
+                _ => {
+                    for j in 0..n_cols {
+                        let Some(rj) = price(self, j) else {
+                            continue;
+                        };
+                        match entering {
+                            None => entering = Some((j, rj)),
+                            Some((_, best)) if !use_bland && rj < best => {
+                                entering = Some((j, rj));
+                            }
+                            _ => {}
+                        }
+                        if use_bland {
+                            break; // Bland: first improving index.
+                        }
                     }
                 }
             }
@@ -425,10 +468,44 @@ impl<'a> Engine<'a> {
     }
 }
 
+/// An optimal basis exported from a finished solve, reusable as a warm
+/// start for a *same-shaped* model (same presolve outcome, senses, and
+/// variable count, hence the same standard-form column layout).
+///
+/// Column indices refer to the standard form: structural columns first,
+/// then slack/surplus/artificial columns in row order. The `rows`/`cols`
+/// dims let a would-be consumer reject a basis from a differently-shaped
+/// model before attempting a factorization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WarmStart {
+    /// `basis[pos]` = standard-form column basic at row position `pos`.
+    pub basis: Vec<usize>,
+    /// Standard-form row count (post-presolve).
+    pub rows: usize,
+    /// Standard-form column count (structural + auxiliary).
+    pub cols: usize,
+}
+
 /// Shared solver core: always produces a best-effort legacy [`Solution`],
 /// plus the typed classification when the solve did not reach a clean
 /// optimum.
 fn solve_core(model: &Model, opts: &SimplexOptions) -> (Solution, Option<LpError>) {
+    let (solution, error, _) = solve_core_warm(model, opts, None);
+    (solution, error)
+}
+
+/// [`solve_core`] with an optional warm-start basis.
+///
+/// When `warm` is compatible (matching standard-form dims, a valid basis
+/// set, nonsingular, primal-feasible, and with every artificial pinned at
+/// zero), phase 1 is skipped entirely and phase 2 resumes from the given
+/// basis; otherwise the solve silently falls back to the cold path. On a
+/// clean optimum the final basis is returned for the next caller.
+fn solve_core_warm(
+    model: &Model,
+    opts: &SimplexOptions,
+    warm: Option<&WarmStart>,
+) -> (Solution, Option<LpError>, Option<WarmStart>) {
     let _solve_span = obs::span("lp.solve");
     let n = model.num_vars();
     let infeasible = |removed: usize| Solution {
@@ -445,7 +522,7 @@ fn solve_core(model: &Model, opts: &SimplexOptions) -> (Solution, Option<LpError
         let _presolve_span = obs::span("lp.presolve");
         match presolve(model, opts.opt_tol) {
             PresolveResult::Infeasible { .. } => {
-                return (infeasible(0), Some(LpError::Infeasible))
+                return (infeasible(0), Some(LpError::Infeasible), None)
             }
             PresolveResult::Reduced { kept_rows, removed } => (kept_rows, removed),
         }
@@ -473,6 +550,7 @@ fn solve_core(model: &Model, opts: &SimplexOptions) -> (Solution, Option<LpError
                 presolve_rows_removed: removed,
             },
             unbounded.then_some(LpError::Unbounded),
+            None,
         );
     }
 
@@ -588,7 +666,63 @@ fn solve_core(model: &Model, opts: &SimplexOptions) -> (Solution, Option<LpError
         opts,
         iterations: 0,
         scratch: Vec::new(),
+        pricing_cursor: 0,
     };
+
+    // Try to install the warm-start basis: it must match the standard-form
+    // dims, be a valid basis set, factorize, be primal-feasible, and keep
+    // every artificial at zero (a positive artificial would silently relax
+    // its row). Any failure falls back to the cold identity start.
+    let mut warm_installed = false;
+    if let Some(ws) = warm {
+        obs::counter_add("lp.warm.attempts", 1);
+        let shape_ok = ws.rows == m && ws.cols == n_total && ws.basis.len() == m;
+        let set_ok = shape_ok && {
+            let mut seen = vec![false; n_total];
+            ws.basis.iter().all(|&c| {
+                c < n_total && !std::mem::replace(&mut seen[c], true)
+            })
+        };
+        if set_ok {
+            engine.basis.copy_from_slice(&ws.basis);
+            engine.in_basis.iter_mut().for_each(|b| *b = false);
+            for &c in &engine.basis {
+                engine.in_basis[c] = true;
+            }
+            let feasible = engine.refactorize().is_ok()
+                && engine.x_b.iter().all(|&v| v >= -1e-7)
+                && engine
+                    .basis
+                    .iter()
+                    .zip(&engine.x_b)
+                    .all(|(&c, &v)| engine.kind[c] != ColKind::Artificial || v <= 1e-7);
+            if feasible {
+                warm_installed = true;
+                obs::counter_add("lp.warm.installed", 1);
+            } else {
+                // Restore the cold identity start.
+                obs::counter_add("lp.warm.fallbacks", 1);
+                engine.basis.clear();
+                engine.basis.resize(m, usize::MAX);
+                for &(col, k, row) in &aux_cols {
+                    match k {
+                        ColKind::Slack | ColKind::Artificial => engine.basis[row] = col,
+                        _ => {}
+                    }
+                }
+                engine.in_basis.iter_mut().for_each(|b| *b = false);
+                for &c in &engine.basis {
+                    engine.in_basis[c] = true;
+                }
+                engine.x_b = b.clone();
+                engine.etas.clear();
+                engine.lu = match LuFactors::factorize(m, &identity) {
+                    Ok(lu) => lu,
+                    Err(_) => unreachable!("identity is nonsingular"),
+                };
+            }
+        }
+    }
 
     let mut health = HealthMonitor::new(opts);
     // Best-effort solution for budget/health failures mid-solve.
@@ -603,11 +737,14 @@ fn solve_core(model: &Model, opts: &SimplexOptions) -> (Solution, Option<LpError
                 presolve_rows_removed: removed,
             },
             Some(error),
+            None,
         )
     };
 
-    // Phase 1.
-    if has_artificials {
+    // Phase 1 (skipped on a warm start: the installed basis is already
+    // primal-feasible with all artificials at zero, which is exactly the
+    // state phase 1 + drive-out would hand over).
+    if has_artificials && !warm_installed {
         let mut costs_phase1 = vec![0.0; n_total];
         for (j, k) in engine.kind.iter().enumerate() {
             if *k == ColKind::Artificial {
@@ -645,7 +782,7 @@ fn solve_core(model: &Model, opts: &SimplexOptions) -> (Solution, Option<LpError
             .map(|(_, &v)| v)
             .sum();
         if phase1_obj > 1e-7 {
-            return (infeasible(removed), Some(LpError::Infeasible));
+            return (infeasible(removed), Some(LpError::Infeasible), None);
         }
         if let Err(e) = engine.refactorize() {
             return aborted(engine.iterations, e);
@@ -699,17 +836,35 @@ fn solve_core(model: &Model, opts: &SimplexOptions) -> (Solution, Option<LpError
         duals[orig] = if flipped[r] { -y[r] } else { y[r] };
     }
 
-    (
-        Solution {
-            status,
-            objective,
-            x,
-            duals,
-            iterations: engine.iterations,
-            presolve_rows_removed: removed,
-        },
-        error,
-    )
+    let solution = Solution {
+        status,
+        objective,
+        x,
+        duals,
+        iterations: engine.iterations,
+        presolve_rows_removed: removed,
+    };
+    // A warm start can only cut work, never change the answer: if it still
+    // produced an infeasible point (the basis was feasible for the *warm*
+    // model's standard form but optimizing drifted somewhere the cold path
+    // would not go — e.g. a positive-artificial pivot sequence on a near-
+    // identical model), discard everything and re-run cold.
+    if warm_installed {
+        let residual = model.max_violation(&solution.x);
+        if solution.status != Status::Optimal
+            || residual.is_nan()
+            || residual > opts.max_residual
+        {
+            obs::counter_add("lp.warm.fallbacks", 1);
+            return solve_core_warm(model, opts, None);
+        }
+    }
+    let exported = (solution.status == Status::Optimal).then(|| WarmStart {
+        basis: engine.basis.clone(),
+        rows: m,
+        cols: n_total,
+    });
+    (solution, error, exported)
 }
 
 /// Solves `model` with the given options, returning the legacy status-coded
@@ -741,7 +896,17 @@ pub fn try_solve_with(model: &Model, opts: &SimplexOptions) -> Result<Solution, 
     if let Some(e) = error {
         return Err(e);
     }
-    // Numerical-health checks on the claimed optimum.
+    health_check(model, opts, &solution)?;
+    Ok(solution)
+}
+
+/// Numerical-health checks on a claimed optimum (shared by the cold and
+/// warm `try_` entry points).
+fn health_check(
+    model: &Model,
+    opts: &SimplexOptions,
+    solution: &Solution,
+) -> Result<(), LpError> {
     let _check_span = obs::span("lp.residual_check");
     let residual = model.max_violation(&solution.x);
     // NaN residuals must also trip the check, hence the explicit test.
@@ -749,7 +914,7 @@ pub fn try_solve_with(model: &Model, opts: &SimplexOptions) -> Result<Solution, 
         return Err(LpError::ResidualBlowup { residual, limit: opts.max_residual });
     }
     if opts.verify_duality {
-        let cert = crate::verify::certify(model, &solution);
+        let cert = crate::verify::certify(model, solution);
         let tol = opts.max_residual.max(1e-7);
         if !cert.holds(tol) {
             let worst = cert
@@ -760,7 +925,26 @@ pub fn try_solve_with(model: &Model, opts: &SimplexOptions) -> Result<Solution, 
             return Err(LpError::CertificationFailed { worst_residual: worst, tol });
         }
     }
-    Ok(solution)
+    Ok(())
+}
+
+/// [`try_solve_with`] with an optional warm-start basis from a previous
+/// related solve; also exports this solve's optimal basis for the next one.
+///
+/// Unusable warm starts (wrong shape, singular, infeasible) fall back to a
+/// cold solve inside the core, so `Ok` carries the same guarantees as
+/// [`try_solve_with`].
+pub fn try_solve_with_warm(
+    model: &Model,
+    opts: &SimplexOptions,
+    warm: Option<&WarmStart>,
+) -> Result<(Solution, Option<WarmStart>), LpError> {
+    let (solution, error, exported) = solve_core_warm(model, opts, warm);
+    if let Some(e) = error {
+        return Err(e);
+    }
+    health_check(model, opts, &solution)?;
+    Ok((solution, exported))
 }
 
 /// [`try_solve_with`] under default options.

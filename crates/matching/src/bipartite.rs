@@ -70,6 +70,24 @@ impl BipartiteGraph {
     pub fn degree(&self, u: usize) -> usize {
         self.adj[u].len()
     }
+
+    /// Removes the edge `(u, v)` if present, preserving the relative order
+    /// of the remaining neighbors of `u`. This is what keeps an
+    /// incrementally-maintained support graph *identical* — edge for edge,
+    /// order for order — to one rebuilt from scratch after an entry of the
+    /// underlying matrix drops to zero. Returns whether an edge was removed.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.left, "left endpoint out of range");
+        let row = &mut self.adj[u];
+        match row.iter().position(|&x| x == v) {
+            Some(pos) => {
+                row.remove(pos);
+                self.edge_count -= 1;
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +111,33 @@ mod tests {
         assert_eq!(g.edge_count(), 2);
         assert_eq!(g.neighbors(0), &[1]);
         assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn remove_edge_preserves_neighbor_order() {
+        let d = IntMatrix::from_nested(&[[1, 2, 3], [4, 5, 6], [7, 8, 9]]);
+        let mut g = BipartiteGraph::support_of(&d);
+        assert!(g.remove_edge(0, 1));
+        assert_eq!(g.neighbors(0), &[0, 2]);
+        assert_eq!(g.edge_count(), 8);
+        // Removing a missing edge is a no-op.
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.edge_count(), 8);
+    }
+
+    #[test]
+    fn incremental_removal_matches_rebuilt_support() {
+        let mut d = IntMatrix::from_nested(&[[2, 1, 0], [1, 0, 2], [0, 2, 1]]);
+        let mut g = BipartiteGraph::support_of(&d);
+        d[(0, 0)] = 0;
+        d[(2, 1)] = 0;
+        g.remove_edge(0, 0);
+        g.remove_edge(2, 1);
+        let rebuilt = BipartiteGraph::support_of(&d);
+        for u in 0..3 {
+            assert_eq!(g.neighbors(u), rebuilt.neighbors(u));
+        }
+        assert_eq!(g.edge_count(), rebuilt.edge_count());
     }
 
     #[test]

@@ -17,6 +17,15 @@ use crate::matrix::{IntMatrix, Permutation};
 
 /// Finds a perfect matching maximizing the minimum matched entry, or `None`
 /// if no perfect matching exists at all.
+///
+/// The binary search only needs *feasibility* ("does a perfect matching
+/// exist at this threshold?"), and maximum-matching cardinality is unique,
+/// so the probes run warm-started: each one keeps the previous probe's
+/// pairs that still clear the new threshold and augments the rest. The
+/// permutation itself is extracted by one final *cold* solve at the chosen
+/// threshold, which is exactly what the original probe-per-threshold
+/// implementation returned — the output is unchanged, only the probe cost
+/// collapses.
 fn max_bottleneck_perfect_matching(
     work: &IntMatrix,
     hk: &mut HopcroftKarp,
@@ -30,45 +39,54 @@ fn max_bottleneck_perfect_matching(
         return None;
     }
 
-    let has_perfect_at = |threshold: u64, hk: &mut HopcroftKarp| -> Option<Permutation> {
+    let graph_at = |threshold: u64| -> BipartiteGraph {
         let mut g = BipartiteGraph::new(m, m);
         for (i, j, v) in work.nonzero_entries() {
             if v >= threshold {
                 g.add_edge(i, j);
             }
         }
-        let matching = hk.solve(&g);
-        if matching.is_left_perfect() {
-            let map = matching
-                .pair_left
-                .iter()
-                .map(|v| v.unwrap_or_else(|| unreachable!("perfect")))
-                .collect();
-            Some(Permutation::new(map))
+        g
+    };
+    let feasible_at = |threshold: u64, hk: &mut HopcroftKarp, cold: bool| -> bool {
+        let g = graph_at(threshold);
+        let size = if cold {
+            hk.run_cold(&g)
         } else {
-            None
-        }
+            // Drop carried-over pairs whose entry fell below the threshold;
+            // everything else is still an edge of the new graph.
+            for u in 0..m {
+                if let Some(v) = hk.matched(u) {
+                    if work[(u, v)] < threshold {
+                        hk.unmatch(u, v);
+                    }
+                }
+            }
+            hk.run_warm(&g)
+        };
+        size == m
     };
 
     // Binary search the largest feasible threshold.
     let mut lo = 0usize; // index of highest known-feasible value
     let mut hi = values.len(); // exclusive upper bound of feasibility
-    has_perfect_at(values[0], hk)?;
-    let mut best = None;
+    if !feasible_at(values[0], hk, true) {
+        return None;
+    }
     while lo + 1 < hi {
         let mid = (lo + hi) / 2;
-        match has_perfect_at(values[mid], hk) {
-            Some(p) => {
-                best = Some(p);
-                lo = mid;
-            }
-            None => hi = mid,
+        if feasible_at(values[mid], hk, false) {
+            lo = mid;
+        } else {
+            hi = mid;
         }
     }
-    match best {
-        Some(p) if lo > 0 => Some(p),
-        _ => has_perfect_at(values[lo], hk),
-    }
+    // Cold extraction at the winning threshold reproduces the original
+    // implementation's permutation bit for bit.
+    let g = graph_at(values[lo]);
+    let size = hk.run_cold(&g);
+    debug_assert_eq!(size, m, "threshold {} was probed feasible", values[lo]);
+    Some(Permutation::new(hk.left_assignment().to_vec()))
 }
 
 /// Max-min decomposition of a doubly-balanced matrix.

@@ -4,6 +4,22 @@
 //! of a doubly-balanced matrix in every decomposition round (its existence is
 //! guaranteed by Hall's theorem / Birkhoff–von Neumann). Hopcroft–Karp keeps
 //! each round cheap even for 150-port fabrics with dense supports.
+//!
+//! Two entry points share the phase machinery:
+//!
+//! * [`HopcroftKarp::solve`] — the cold solve. Its first phase is run as a
+//!   plain greedy pass: with every left vertex free at distance 0, the DFS
+//!   layer gate `dist[w] == dist[u] + 1` can never pass, so phase 1 of the
+//!   textbook algorithm provably degenerates to first-free-neighbor greedy
+//!   matching and the initial full-graph BFS is pure overhead. The resulting
+//!   matching is pair-for-pair identical to the textbook cold solve
+//!   (pinned by a reference test below).
+//! * [`HopcroftKarp::solve_warm`] — keeps the solver's current pair state
+//!   (minus anything the caller [`HopcroftKarp::unmatch`]ed) and only runs
+//!   augmenting phases for the vertices that lost their partner. Any valid
+//!   partial matching extends to a maximum one (Berge), so the *cardinality*
+//!   always equals the cold solve's; the matched pairs themselves may
+//!   legitimately differ.
 
 use crate::bipartite::BipartiteGraph;
 
@@ -39,7 +55,9 @@ impl Matching {
 
 /// State buffers for Hopcroft–Karp, reusable across calls to avoid
 /// re-allocating on every decomposition round (a "workhorse collection"
-/// in Rust Performance Book terms).
+/// in Rust Performance Book terms). The pair state doubles as the warm-start
+/// seed for [`HopcroftKarp::solve_warm`].
+#[derive(Clone, Debug)]
 pub struct HopcroftKarp {
     pair_u: Vec<usize>,
     pair_v: Vec<usize>,
@@ -48,8 +66,7 @@ pub struct HopcroftKarp {
 }
 
 impl HopcroftKarp {
-    /// Creates a solver with buffers sized for graphs up to `left`/`right`
-    /// vertices; larger graphs grow the buffers transparently.
+    /// Creates a solver with empty buffers; they grow to fit each graph.
     pub fn new() -> Self {
         HopcroftKarp {
             pair_u: Vec::new(),
@@ -59,8 +76,28 @@ impl HopcroftKarp {
         }
     }
 
-    /// Computes a maximum matching of `g`.
+    /// Computes a maximum matching of `g` from scratch.
     pub fn solve(&mut self, g: &BipartiteGraph) -> Matching {
+        let size = self.run_cold(g);
+        self.build_matching(size)
+    }
+
+    /// Computes a maximum matching of `g` starting from the solver's current
+    /// pair state (see [`HopcroftKarp::solve_warm` module docs](self)).
+    ///
+    /// The caller must guarantee every surviving matched pair is an edge of
+    /// `g` (use [`HopcroftKarp::unmatch`] to drop invalidated pairs first)
+    /// and that the buffer dimensions match `g`.
+    pub fn solve_warm(&mut self, g: &BipartiteGraph) -> Matching {
+        let size = self.run_warm(g);
+        self.build_matching(size)
+    }
+
+    /// Cold solve returning only the matching size; the assignment is
+    /// readable through [`HopcroftKarp::matched`] /
+    /// [`HopcroftKarp::left_assignment`] until the next run. Avoids the
+    /// [`Matching`] allocation on hot paths.
+    pub fn run_cold(&mut self, g: &BipartiteGraph) -> usize {
         let n = g.left_count();
         let m = g.right_count();
         self.pair_u.clear();
@@ -70,20 +107,68 @@ impl HopcroftKarp {
         self.dist.clear();
         self.dist.resize(n, INF);
 
-        let mut size = 0;
-        let mut bfs_rounds = 0u64;
-        while self.bfs(g) {
-            bfs_rounds += 1;
-            for u in 0..n {
-                if self.pair_u[u] == NIL && self.dfs(g, u) {
-                    size += 1;
-                }
-            }
-        }
+        // Phase 1 as a direct greedy pass (see module docs for why this is
+        // exactly the textbook first phase).
+        let mut size = self.greedy_phase(g);
+        let head_round = (size > 0) as u64;
+        let (augmented, rounds) = self.augment_to_maximum(g);
+        size += augmented;
         // Publish once per solve so the BFS/DFS loops stay uninstrumented.
-        obs::counter_add("matching.hk.bfs_rounds", bfs_rounds);
+        obs::counter_add("matching.hk.bfs_rounds", head_round + rounds);
         obs::counter_add("matching.hk.augmenting_paths", size as u64);
+        size
+    }
 
+    /// Warm solve returning only the matching size (see
+    /// [`HopcroftKarp::solve_warm`] for the seeding contract).
+    pub fn run_warm(&mut self, g: &BipartiteGraph) -> usize {
+        assert_eq!(
+            self.pair_u.len(),
+            g.left_count(),
+            "warm start requires a previous run on an equally-sized graph"
+        );
+        assert_eq!(
+            self.pair_v.len(),
+            g.right_count(),
+            "warm start requires a previous run on an equally-sized graph"
+        );
+        self.dist.clear();
+        self.dist.resize(g.left_count(), INF);
+        let seeded = self.pair_u.iter().filter(|&&v| v != NIL).count();
+        let mut size = seeded + self.greedy_phase(g);
+        let (augmented, rounds) = self.augment_to_maximum(g);
+        size += augmented;
+        obs::counter_add("matching.hk.bfs_rounds", rounds);
+        obs::counter_add("matching.hk.augmenting_paths", (size - seeded) as u64);
+        obs::counter_add("matching.hk.warm_reused", seeded as u64);
+        size
+    }
+
+    /// Forgets the matched pair `(u, v)` if it is currently part of the
+    /// stored assignment. Callers prune pairs whose edge left the graph
+    /// before a warm solve.
+    pub fn unmatch(&mut self, u: usize, v: usize) {
+        if self.pair_u.get(u).copied() == Some(v) {
+            self.pair_u[u] = NIL;
+            self.pair_v[v] = NIL;
+        }
+    }
+
+    /// Right vertex currently matched to left `u` (`None` if free).
+    pub fn matched(&self, u: usize) -> Option<usize> {
+        match self.pair_u.get(u) {
+            Some(&v) if v != NIL => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Raw left→right assignment of the last run (`usize::MAX` marks free
+    /// lefts). Valid until the next run or [`HopcroftKarp::unmatch`].
+    pub fn left_assignment(&self) -> &[usize] {
+        &self.pair_u
+    }
+
+    fn build_matching(&self, size: usize) -> Matching {
         Matching {
             pair_left: self
                 .pair_u
@@ -97,6 +182,42 @@ impl HopcroftKarp {
                 .collect(),
             size,
         }
+    }
+
+    /// First-free-neighbor greedy matching over the currently-free left
+    /// vertices; returns the number of pairs added.
+    fn greedy_phase(&mut self, g: &BipartiteGraph) -> usize {
+        let mut added = 0;
+        for u in 0..g.left_count() {
+            if self.pair_u[u] != NIL {
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                if self.pair_v[v] == NIL {
+                    self.pair_u[u] = v;
+                    self.pair_v[v] = u;
+                    added += 1;
+                    break;
+                }
+            }
+        }
+        added
+    }
+
+    /// Runs BFS/DFS phases until no augmenting path remains. Returns the
+    /// number of augmenting paths applied and of successful BFS rounds.
+    fn augment_to_maximum(&mut self, g: &BipartiteGraph) -> (usize, u64) {
+        let mut augmented = 0;
+        let mut rounds = 0u64;
+        while self.bfs(g) {
+            rounds += 1;
+            for u in 0..g.left_count() {
+                if self.pair_u[u] == NIL && self.dfs(g, u) {
+                    augmented += 1;
+                }
+            }
+        }
+        (augmented, rounds)
     }
 
     /// BFS phase: layers free left vertices; returns true if an augmenting
@@ -160,6 +281,8 @@ pub fn maximum_matching(g: &BipartiteGraph) -> Matching {
 mod tests {
     use super::*;
     use crate::IntMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn perfect_matching_on_complete_graph() {
@@ -230,5 +353,168 @@ mod tests {
         for (u, v) in m.pairs() {
             assert_eq!(m.pair_right[v], Some(u));
         }
+    }
+
+    /// Textbook Hopcroft–Karp with a literal BFS-gated first phase — the
+    /// pre-optimization algorithm, used to pin the greedy-phase shortcut.
+    fn textbook_solve(g: &BipartiteGraph) -> Vec<Option<usize>> {
+        let n = g.left_count();
+        let m = g.right_count();
+        let mut pair_u = vec![NIL; n];
+        let mut pair_v = vec![NIL; m];
+        let mut dist = vec![INF; n];
+        fn bfs(
+            g: &BipartiteGraph,
+            pair_u: &[usize],
+            pair_v: &[usize],
+            dist: &mut [u32],
+        ) -> bool {
+            let mut queue = Vec::new();
+            let mut found = false;
+            for u in 0..g.left_count() {
+                if pair_u[u] == NIL {
+                    dist[u] = 0;
+                    queue.push(u);
+                } else {
+                    dist[u] = INF;
+                }
+            }
+            let mut head = 0;
+            while head < queue.len() {
+                let u = queue[head];
+                head += 1;
+                for &v in g.neighbors(u) {
+                    let w = pair_v[v];
+                    if w == NIL {
+                        found = true;
+                    } else if dist[w] == INF {
+                        dist[w] = dist[u] + 1;
+                        queue.push(w);
+                    }
+                }
+            }
+            found
+        }
+        fn dfs(
+            g: &BipartiteGraph,
+            pair_u: &mut [usize],
+            pair_v: &mut [usize],
+            dist: &mut [u32],
+            u: usize,
+        ) -> bool {
+            for idx in 0..g.neighbors(u).len() {
+                let v = g.neighbors(u)[idx];
+                let w = pair_v[v];
+                if w == NIL || (dist[w] == dist[u] + 1 && dfs(g, pair_u, pair_v, dist, w)) {
+                    pair_v[v] = u;
+                    pair_u[u] = v;
+                    return true;
+                }
+            }
+            dist[u] = INF;
+            false
+        }
+        while bfs(g, &pair_u, &pair_v, &mut dist) {
+            for u in 0..n {
+                if pair_u[u] == NIL {
+                    dfs(g, &mut pair_u, &mut pair_v, &mut dist, u);
+                }
+            }
+        }
+        pair_u
+            .into_iter()
+            .map(|v| if v == NIL { None } else { Some(v) })
+            .collect()
+    }
+
+    fn random_graph(n: usize, density: f64, seed: u64) -> BipartiteGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = BipartiteGraph::new(n, n);
+        for u in 0..n {
+            for v in 0..n {
+                if rng.gen_bool(density) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn greedy_first_phase_is_pair_identical_to_textbook_cold_solve() {
+        // The optimized cold solve must reproduce the textbook result
+        // *pair-for-pair* — the BvN output identity rests on this.
+        for seed in 0..60 {
+            let n = 3 + (seed as usize % 10);
+            let density = 0.15 + 0.08 * (seed % 9) as f64;
+            let g = random_graph(n, density, seed);
+            let ours = maximum_matching(&g);
+            assert_eq!(ours.pair_left, textbook_solve(&g), "seed {}", seed);
+        }
+    }
+
+    #[test]
+    fn warm_solve_matches_cold_cardinality_after_edge_removal() {
+        for seed in 200..240 {
+            let n = 4 + (seed as usize % 8);
+            let mut g = random_graph(n, 0.5, seed);
+            let mut hk = HopcroftKarp::new();
+            let before = hk.solve(&g);
+            // Remove a matched edge and warm-resolve.
+            let first_pair = before.pairs().next();
+            if let Some((u, v)) = first_pair {
+                g.remove_edge(u, v);
+                hk.unmatch(u, v);
+                let warm = hk.solve_warm(&g);
+                let cold = maximum_matching(&g);
+                assert_eq!(warm.size, cold.size, "seed {}", seed);
+                // All warm pairs are real edges.
+                for (a, b) in warm.pairs() {
+                    assert!(g.neighbors(a).contains(&b), "seed {}", seed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_solve_reuses_surviving_pairs() {
+        // Complete graph: removing one matched edge frees one left and one
+        // right vertex, so restoring perfection needs exactly ONE augmenting
+        // path. Pairs not on that path must persist — that is the whole
+        // point of warm starting.
+        let mut g = BipartiteGraph::new(4, 4);
+        for u in 0..4 {
+            for v in 0..4 {
+                g.add_edge(u, v);
+            }
+        }
+        let mut hk = HopcroftKarp::new();
+        let cold = hk.solve(&g);
+        assert_eq!(cold.size, 4);
+        let (u, v) = cold
+            .pairs()
+            .next()
+            .unwrap_or_else(|| unreachable!("perfect matching is nonempty"));
+        g.remove_edge(u, v);
+        hk.unmatch(u, v);
+        let survivors: Vec<(usize, usize)> = (0..4)
+            .filter_map(|a| hk.matched(a).map(|b| (a, b)))
+            .collect();
+        assert_eq!(survivors.len(), 3);
+        let warm = hk.solve_warm(&g);
+        assert_eq!(warm.size, 4);
+        // A single augmenting path alternates matched/unmatched edges and
+        // can re-route at most one surviving pair per flip along it; the
+        // shortest path here flips exactly one, so ≥ 2 of 3 persist.
+        let persisted = survivors
+            .iter()
+            .filter(|&&(a, b)| warm.pair_left[a] == Some(b))
+            .count();
+        assert!(
+            persisted >= survivors.len() - 1,
+            "warm solve rerouted too many surviving pairs: {} of {}",
+            persisted,
+            survivors.len()
+        );
     }
 }

@@ -280,7 +280,7 @@ impl FaultPlan {
 }
 
 /// What happened in one executed slot.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SlotOutcome {
     /// The slot number.
     pub slot: u64,
@@ -309,6 +309,16 @@ pub struct BlockedSlot {
 /// Cap on the retained blocked log; [`FaultSim::blocked_units`] keeps
 /// counting past it, so aggregate accounting stays exact.
 const MAX_BLOCKED_LOG: usize = 1 << 16;
+
+/// Fault state of one port pair over one epoch window. Outages are
+/// constant within a window by construction of [`FaultPlan::boundaries`];
+/// degraded links keep their `(start, stride)` phase so only the stride
+/// test remains per slot.
+enum PairState {
+    Open,
+    Closed,
+    Strided(Vec<(u64, u64)>),
+}
 
 /// Slot-by-slot executor that applies a [`FaultPlan`] while replaying
 /// planned schedules, stranding blocked demand for later replans.
@@ -424,12 +434,18 @@ impl FaultSim {
     }
 
     fn apply_cancellations(&mut self) {
+        self.apply_cancellations_at(self.now + 1);
+    }
+
+    /// Applies every cancellation effective at or before `slot` (a coflow
+    /// cancelled `at` is gone from slot `at` on).
+    fn apply_cancellations_at(&mut self, slot: u64) {
         for k in 0..self.cancelled.len() {
             if self.cancelled[k] || self.completion[k].is_some() {
                 continue;
             }
             if let Some(at) = self.plan.cancellation(k) {
-                if at <= self.now + 1 {
+                if at <= slot {
                     self.cancelled[k] = true;
                     self.remaining_total[k] = 0;
                     self.remaining[k] = IntMatrix::zeros(self.m);
@@ -522,10 +538,20 @@ impl FaultSim {
         Ok(out)
     }
 
-    /// Replays `trace` slot by slot from the current time, stopping before
-    /// slot `stop_before` (exclusive) when given. Slots the trace leaves
-    /// idle are skipped by advancing the clock. Returns the per-slot
-    /// outcomes of the executed prefix.
+    /// Replays `trace` from the current time, stopping before slot
+    /// `stop_before` (exclusive) when given. Slots the trace leaves idle
+    /// are skipped by advancing the clock. Returns the per-slot outcomes of
+    /// the executed prefix.
+    ///
+    /// Runs are advanced run-length: each run is split into windows at the
+    /// plan's fault epochs ([`FaultPlan::boundaries`]), each port pair is
+    /// classified once per window (open / closed / stride-degraded), and
+    /// the per-slot work drops to O(active transfers) with no per-slot
+    /// allocation or fault-plan scan. The executed trace, outcomes, blocked
+    /// log, and counters are identical to slot-by-slot execution
+    /// ([`FaultSim::execute_trace_slotwise`]); runs that could trip a
+    /// structural [`SimError`] fall back to the slot-wise path so error
+    /// slots and partial state match exactly.
     ///
     /// With `stop_before = Some(b)` the clock always ends at `b - 1` (or
     /// later, if it already was); with `None` it ends at the trace's
@@ -536,7 +562,28 @@ impl FaultSim {
         trace: &ScheduleTrace,
         stop_before: Option<u64>,
     ) -> Result<Vec<SlotOutcome>, SimError> {
+        self.execute_trace_impl(trace, stop_before, false)
+    }
+
+    /// Literal slot-by-slot replay — the reference executor the run-length
+    /// path is differentially tested against. Byte-identical outputs to
+    /// [`FaultSim::execute_trace`], just slower.
+    pub fn execute_trace_slotwise(
+        &mut self,
+        trace: &ScheduleTrace,
+        stop_before: Option<u64>,
+    ) -> Result<Vec<SlotOutcome>, SimError> {
+        self.execute_trace_impl(trace, stop_before, true)
+    }
+
+    fn execute_trace_impl(
+        &mut self,
+        trace: &ScheduleTrace,
+        stop_before: Option<u64>,
+        force_slotwise: bool,
+    ) -> Result<Vec<SlotOutcome>, SimError> {
         let mut outcomes = Vec::new();
+        let boundaries = self.plan.boundaries();
         'runs: for run in &trace.runs {
             if let Some(b) = stop_before {
                 if run.start >= b {
@@ -552,18 +599,17 @@ impl FaultSim {
             if run.start <= self.now && run.start + run.duration <= self.now + 1 {
                 return Err(SimError::TimeReversed { start: run.start, now: self.now });
             }
-            let slots = run.slot_moves();
-            for (o, moves) in slots.iter().enumerate() {
-                let slot = run.start + o as u64;
-                if slot <= self.now {
-                    continue; // partially executed run: skip the done prefix
+            let first = self.now + 1; // done prefixes of partial runs skipped
+            if force_slotwise || !self.run_fast(run, first, stop_before, &boundaries, &mut outcomes) {
+                if self.run_slotwise(run, stop_before, &mut outcomes)? {
+                    break 'runs;
                 }
-                if let Some(b) = stop_before {
-                    if slot >= b {
-                        break 'runs;
-                    }
+                continue;
+            }
+            if let Some(b) = stop_before {
+                if run.start + run.duration > b {
+                    break 'runs; // the stop boundary fell inside this run
                 }
-                outcomes.push(self.step(moves)?);
             }
         }
         // Land exactly on the epoch boundary (or the trace end) so the
@@ -576,6 +622,199 @@ impl FaultSim {
             self.advance_to(target);
         }
         Ok(outcomes)
+    }
+
+    /// The original per-slot replay of one run. Returns `Ok(true)` when the
+    /// `stop_before` boundary was reached (caller stops consuming runs).
+    fn run_slotwise(
+        &mut self,
+        run: &Run,
+        stop_before: Option<u64>,
+        outcomes: &mut Vec<SlotOutcome>,
+    ) -> Result<bool, SimError> {
+        let slots = run.slot_moves();
+        for (o, moves) in slots.iter().enumerate() {
+            let slot = run.start + o as u64;
+            if slot <= self.now {
+                continue; // partially executed run: skip the done prefix
+            }
+            if let Some(b) = stop_before {
+                if slot >= b {
+                    return Ok(true);
+                }
+            }
+            outcomes.push(self.step(moves)?);
+        }
+        Ok(false)
+    }
+
+    /// Run-length replay of one run. Returns `false` (having executed
+    /// nothing) when the run is not eligible for the fast path — a
+    /// structural violation is possible and the slot-wise path must
+    /// reproduce its exact error slot — and `true` after executing the
+    /// run's slots in `[first, stop_before)`.
+    fn run_fast(
+        &mut self,
+        run: &Run,
+        first: u64,
+        stop_before: Option<u64>,
+        boundaries: &[u64],
+        outcomes: &mut Vec<SlotOutcome>,
+    ) -> bool {
+        let n = self.remaining.len();
+        // Per-pair serialized transfer segments: transfer `t` on pair `p`
+        // owns the contiguous within-run offsets [a, b) after the units of
+        // earlier transfers on the same pair (exactly `Run::slot_moves`).
+        let mut pairs: Vec<(usize, usize, u64)> = Vec::new(); // (src, dst, cum units)
+        let mut segs: Vec<(usize, u64, u64, usize)> = Vec::new(); // (pair, a, b, coflow)
+        for t in &run.transfers {
+            if t.src >= self.m || t.dst >= self.m || t.coflow >= n {
+                return false; // PortOutOfRange / UnknownCoflow possible
+            }
+            if self.releases[t.coflow] >= first {
+                return false; // ReleaseViolated possible in early slots
+            }
+            let p = match pairs.iter().position(|&(i, j, _)| i == t.src && j == t.dst) {
+                Some(p) => p,
+                None => {
+                    pairs.push((t.src, t.dst, 0));
+                    pairs.len() - 1
+                }
+            };
+            let a = pairs[p].2;
+            pairs[p].2 += t.units;
+            segs.push((p, a, a + t.units, t.coflow));
+        }
+        // Distinct pairs sharing a port co-occur in the run's first slot:
+        // PortMatchedTwice is possible, so leave the run to the reference.
+        let mut src_owner = vec![usize::MAX; self.m];
+        let mut dst_owner = vec![usize::MAX; self.m];
+        for (p, &(i, j, _)) in pairs.iter().enumerate() {
+            if src_owner[i] != usize::MAX || dst_owner[j] != usize::MAX {
+                return false;
+            }
+            src_owner[i] = p;
+            dst_owner[j] = p;
+        }
+
+        let mut last = run.start + run.duration - 1;
+        if let Some(b) = stop_before {
+            last = last.min(b - 1);
+        }
+        if first > last {
+            return true; // nothing left of the run before the boundary
+        }
+
+        // Fault state is constant between consecutive plan boundaries
+        // (except stride-degraded links, which are re-checked per slot), so
+        // the run splits into windows at the epochs that intersect it.
+        let mut bidx = boundaries.partition_point(|&x| x <= first);
+        let mut w0 = first;
+        let mut pair_state: Vec<PairState> = Vec::with_capacity(pairs.len());
+        while w0 <= last {
+            let w1 = if bidx < boundaries.len() && boundaries[bidx] <= last {
+                let end = boundaries[bidx] - 1;
+                bidx += 1;
+                end
+            } else {
+                last
+            };
+            // Cancellations fire on boundaries, so applying them at the
+            // window start covers every slot of the window.
+            self.apply_cancellations_at(w0);
+            pair_state.clear();
+            for &(i, j, _) in &pairs {
+                pair_state.push(if !self.plan.ingress_up(i, w0) || !self.plan.egress_up(j, w0) {
+                    PairState::Closed
+                } else {
+                    let degs: Vec<(u64, u64)> = self
+                        .plan
+                        .events
+                        .iter()
+                        .filter_map(|e| match *e {
+                            FaultEvent::LinkDegraded { src, dst, start, end, stride }
+                                if src == i && dst == j && (start..=end).contains(&w0) =>
+                            {
+                                Some((start, stride.max(1)))
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    if degs.is_empty() {
+                        PairState::Open
+                    } else {
+                        PairState::Strided(degs)
+                    }
+                });
+            }
+            // Only segments whose offsets intersect the window matter; they
+            // keep the listed transfer order, so each slot's moves come out
+            // exactly as `Run::slot_moves` lists them.
+            let lo = w0 - run.start;
+            let hi = w1 - run.start;
+            let active: Vec<(usize, usize, usize, usize, u64, u64)> = segs
+                .iter()
+                .filter(|&&(_, a, b, _)| a <= hi && b > lo)
+                .map(|&(p, a, b, k)| {
+                    let (i, j, _) = pairs[p];
+                    (p, i, j, k, a, b)
+                })
+                .collect();
+            for slot in w0..=w1 {
+                let o = slot - run.start;
+                let mut out = SlotOutcome { slot, ..SlotOutcome::default() };
+                for &(p, i, j, k, a, b) in &active {
+                    if o < a || o >= b {
+                        continue;
+                    }
+                    if self.cancelled[k] {
+                        out.dropped.push((i, j, k));
+                        continue;
+                    }
+                    if self.remaining[k][(i, j)] == 0 {
+                        continue; // already delivered by an earlier replan
+                    }
+                    let open = match &pair_state[p] {
+                        PairState::Open => true,
+                        PairState::Closed => false,
+                        PairState::Strided(degs) => degs
+                            .iter()
+                            .all(|&(start, stride)| (slot - start).is_multiple_of(stride)),
+                    };
+                    if !open {
+                        self.blocked_units += 1;
+                        if self.blocked_log.len() < MAX_BLOCKED_LOG {
+                            self.blocked_log.push(BlockedSlot { slot, src: i, dst: j, coflow: k });
+                        } else {
+                            self.blocked_log_dropped += 1;
+                        }
+                        out.blocked.push((i, j, k));
+                        continue;
+                    }
+                    self.remaining[k][(i, j)] -= 1;
+                    self.remaining_total[k] -= 1;
+                    self.last_activity[k] = slot;
+                    if self.remaining_total[k] == 0 {
+                        self.completion[k] = Some(slot);
+                    }
+                    out.delivered.push((i, j, k));
+                }
+                obs::counter_add("netsim.fault.blocked_units", out.blocked.len() as u64);
+                obs::counter_add("netsim.fault.dropped_units", out.dropped.len() as u64);
+                if !out.delivered.is_empty() {
+                    let transfers = out
+                        .delivered
+                        .iter()
+                        .map(|&(src, dst, coflow)| Transfer { src, dst, coflow, units: 1 })
+                        .collect();
+                    self.executed.push_run(Run { start: slot, duration: 1, transfers });
+                }
+                self.now = slot;
+                outcomes.push(out);
+            }
+            w0 = w1 + 1;
+        }
+        true
     }
 
     /// Finishes execution, returning the executed trace (1-slot runs of

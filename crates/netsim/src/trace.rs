@@ -26,7 +26,7 @@ pub struct Transfer {
 /// (the matching constraints (2)–(3) of the paper); transfers on the same
 /// pair are processed in the order listed, which encodes coflow priority for
 /// completion-time accounting.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Run {
     /// First time slot of the run (slots are 1-indexed: the first slot of
     /// the horizon is slot 1, matching the paper's `t = 1, 2, …`).
@@ -65,7 +65,7 @@ impl Run {
 }
 
 /// A complete run-length schedule for an `m × m` fabric.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ScheduleTrace {
     /// Fabric size.
     pub m: usize,
@@ -108,10 +108,42 @@ impl ScheduleTrace {
     /// Visits every scheduled slot in time order as `(slot, unit moves)`.
     /// Idle slots between runs are skipped; idle slots *within* a run are
     /// visited with an empty move list.
+    ///
+    /// Equivalent to walking [`Run::slot_moves`] but with three reused
+    /// buffers instead of a `Vec` per slot and a hash map per run — this is
+    /// the path the flight recorder and diagnostics replay, where runs can
+    /// span five-figure slot counts.
     pub fn for_each_slot<F: FnMut(u64, &[(usize, usize, usize)])>(&self, mut f: F) {
+        let mut buf: Vec<(usize, usize, usize)> = Vec::new();
+        // Per-transfer offset segments: a transfer owns the contiguous
+        // within-run offsets [a, b) after earlier transfers on its pair.
+        let mut segs: Vec<(usize, usize, usize, u64, u64)> = Vec::new();
+        let mut pairs: Vec<(usize, usize, u64)> = Vec::new();
         for run in &self.runs {
-            for (o, moves) in run.slot_moves().iter().enumerate() {
-                f(run.start + o as u64, moves);
+            segs.clear();
+            pairs.clear();
+            for t in &run.transfers {
+                let a = match pairs.iter_mut().find(|p| p.0 == t.src && p.1 == t.dst) {
+                    Some(p) => {
+                        let a = p.2;
+                        p.2 += t.units;
+                        a
+                    }
+                    None => {
+                        pairs.push((t.src, t.dst, t.units));
+                        0
+                    }
+                };
+                segs.push((t.src, t.dst, t.coflow, a, a + t.units));
+            }
+            for o in 0..run.duration {
+                buf.clear();
+                for &(src, dst, coflow, a, b) in &segs {
+                    if a <= o && o < b {
+                        buf.push((src, dst, coflow));
+                    }
+                }
+                f(run.start + o, &buf);
             }
         }
     }

@@ -320,6 +320,39 @@ impl Snapshot {
             .fold(0.0, |acc, (_, stat)| acc + stat.total_ms())
     }
 
+    /// Exclusive ("self") time in milliseconds for spans whose leaf is
+    /// `name`, relative to a set of `reported` leaves: the total of
+    /// `name`-leaf paths minus the totals of nested paths whose leaf is
+    /// also reported and whose *nearest* reported ancestor is `name`.
+    ///
+    /// This is what makes a stage table sum to the whole: each reported
+    /// leaf's time is attributed exactly once, to the innermost reported
+    /// stage containing it. `name` must itself be in `reported` for the
+    /// subtraction to be meaningful (nested occurrences of `name` then
+    /// cancel instead of double-counting).
+    pub fn span_self_ms(&self, name: &str, reported: &[&str]) -> f64 {
+        let mut total = 0.0;
+        for (path, stat) in &self.spans {
+            let mut segs = path.split('/').rev();
+            let Some(leaf) = segs.next() else {
+                continue;
+            };
+            if !reported.contains(&leaf) {
+                continue;
+            }
+            if leaf == name {
+                total += stat.total_ms();
+            }
+            // Nearest reported ancestor, if any, loses this nested time.
+            if let Some(ancestor) = segs.find(|s| reported.contains(s)) {
+                if ancestor == name {
+                    total -= stat.total_ms();
+                }
+            }
+        }
+        total
+    }
+
     /// Occurrence count over every path whose innermost name equals
     /// `name`.
     pub fn span_count(&self, name: &str) -> u64 {

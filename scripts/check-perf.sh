@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# CI perf gate, wired next to check-clippy.sh / check-explain.sh: profile
+# the 12-cell grid in release mode and fail when any pipeline stage's
+# summed wall-clock regresses more than 20% (above the 10 ms noise floor)
+# against the committed BENCH_baseline.json. The kernel micro-benchmarks
+# run afterwards with CRITERION_JSON so their samples land next to the
+# grid report for forensics; they inform but do not gate.
+#
+# Usage:
+#   scripts/check-perf.sh                 # gate at the default +20%
+#   scripts/check-perf.sh --tolerance 0.5 # looser gate for shared CI boxes
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${PERF_OUT:-BENCH_grid.json}"
+
+cargo run --release -q -p coflow-bench --bin experiments -- \
+    profile --out "$OUT" --baseline BENCH_baseline.json "$@"
+
+CRITERION_JSON="${CRITERION_JSON:-kernels_bench.jsonl}" \
+    cargo bench -q -p coflow-bench --bench kernels -- --bench
