@@ -7,6 +7,7 @@
 //! experiments explain [--out PATH] [--svg PATH] [--trace PATH]
 //!                     [--faults RATE] [--severity LEVEL]
 //!                     [--expect-starvation] [--validate PATH] [--seed N]
+//! experiments pin [--out PATH] [--check PATH] [--tolerance F] [--seed N]
 //! ```
 //!
 //! `profile` runs the 12-cell grid with the `obs` registry enabled and
@@ -26,12 +27,23 @@
 //! section; `--svg` writes the attribution cell's port-utilization
 //! heatmap; `--trace` writes the chrome trace (spans + anomaly instants).
 //!
+//! `pin` recomputes the engine's pinned objectives — the 12-cell grid, the
+//! online scheduler (fixed and stale priorities), the greedy baseline, and
+//! the fault-injected combinations — on the canonical arrivals instance.
+//! With `--check` it compares against a committed `BENCH_pins.json` and
+//! exits 1 unless every objective matches **bit for bit** and the
+//! engine-driven section is no slower than baseline by `--tolerance`
+//! (default 1.0 = +100%, floored at 50 ms); with `--out` it writes a fresh
+//! pin file (used by `scripts/check-perf.sh`).
+//!
 //! Table 1 and the figures run on the synthetic Facebook-like trace at the
 //! documented reduced scale; `lpexp` runs on a further reduced instance
 //! because (LP-EXP) is exponential in the horizon; `ratios` measures true
 //! approximation ratios on tiny instances via the exact solver.
 
-use coflow_bench::faults::{render_faults, run_faults};
+use coflow_bench::faults::{
+    render_fault_policies, render_faults, run_fault_policies, run_faults,
+};
 use coflow_bench::figures::{run_fig2a, run_fig2b};
 use coflow_bench::lowerbound::run_lowerbound;
 use coflow_bench::paper_scale_config;
@@ -61,6 +73,23 @@ impl Default for ProfileArgs {
             tolerance: 0.2,
             full: false,
             sequential: false,
+        }
+    }
+}
+
+/// Options of the `pin` subcommand.
+struct PinArgs {
+    out: Option<String>,
+    check: Option<String>,
+    tolerance: f64,
+}
+
+impl Default for PinArgs {
+    fn default() -> Self {
+        PinArgs {
+            out: None,
+            check: None,
+            tolerance: 1.0,
         }
     }
 }
@@ -96,6 +125,7 @@ fn main() {
     let mut seed: u64 = 2015;
     let mut profile_args = ProfileArgs::default();
     let mut explain_args = ExplainArgs::default();
+    let mut pin_args = PinArgs::default();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         let mut value_of = |flag: &str| -> String {
@@ -121,7 +151,8 @@ fn main() {
             "--out" => {
                 let value = value_of("--out");
                 profile_args.out = value.clone();
-                explain_args.out = value;
+                explain_args.out = value.clone();
+                pin_args.out = Some(value);
             }
             "--trace" => {
                 let value = value_of("--trace");
@@ -155,15 +186,18 @@ fn main() {
             }
             "--expect-starvation" => explain_args.expect_starvation = true,
             "--validate" => explain_args.validate = Some(value_of("--validate")),
+            "--check" => pin_args.check = Some(value_of("--check")),
             "--tolerance" => {
                 let value = value_of("--tolerance");
-                profile_args.tolerance = match value.parse() {
+                let parsed: f64 = match value.parse() {
                     Ok(t) => t,
                     Err(_) => {
                         eprintln!("error: --tolerance must be a number, got '{}'", value);
                         std::process::exit(2);
                     }
                 };
+                profile_args.tolerance = parsed;
+                pin_args.tolerance = parsed;
             }
             "--full" => profile_args.full = true,
             "--sequential" => profile_args.sequential = true,
@@ -183,6 +217,7 @@ fn main() {
         "faults" => faults(seed),
         "profile" => profile(seed, &profile_args),
         "explain" => explain(seed, &explain_args),
+        "pin" => pin(seed, &pin_args),
         "all" => {
             table1(seed);
             fig2a(seed);
@@ -196,7 +231,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{}'; expected table1|fig2a|fig2b|lpexp|ratios|gridsweep|integrality|arrivals|faults|profile|explain|all",
+                "unknown experiment '{}'; expected table1|fig2a|fig2b|lpexp|ratios|gridsweep|integrality|arrivals|faults|profile|explain|pin|all",
                 other
             );
             std::process::exit(2);
@@ -560,8 +595,52 @@ fn faults(seed: u64) {
         stall_window: Some(20_000),
         ..SimplexOptions::default()
     };
-    let report = run_faults(&inst, &[0.0, 0.02, 0.05, 0.1, 0.2], seed, &lp_opts);
+    let rates = [0.0, 0.02, 0.05, 0.1, 0.2];
+    let report = run_faults(&inst, &rates, seed, &lp_opts);
     print!("{}", render_faults(&report));
+    // The engine-only policies (online fresh/stale, greedy) under the same
+    // seeded plans — the combinations the unified engine made possible.
+    let policies = run_fault_policies(&inst, &rates, seed);
+    print!("{}", render_fault_policies(&policies));
+}
+
+fn pin(seed: u64, args: &PinArgs) {
+    use coflow_bench::pins::{collect_pins, compare_pins, parse_pins, render_pins, render_pins_json};
+
+    let report = collect_pins(seed);
+    print!("{}", render_pins(&report));
+
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, render_pins_json(&report)) {
+            eprintln!("error: writing {}: {}", out, e);
+            std::process::exit(1);
+        }
+        println!("# pin file written to {}", out);
+    }
+
+    if let Some(check) = &args.check {
+        let text = match std::fs::read_to_string(check) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: reading {}: {}", check, e);
+                std::process::exit(1);
+            }
+        };
+        let baseline = match parse_pins(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {}: {}", check, e);
+                std::process::exit(1);
+            }
+        };
+        match compare_pins(&baseline, &report, args.tolerance) {
+            Ok(summary) => println!("# {}: {}", check, summary),
+            Err(e) => {
+                eprintln!("error: pin gate failed vs {}: {}", check, e);
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 fn arrivals(seed: u64) {

@@ -8,11 +8,16 @@
 //! survive (are not cancelled by) each plan, so cancellations do not
 //! masquerade as speedups.
 
-use coflow::sched::recovery::{run_with_faults_strict, verify_faulty_outcome};
+use coflow::sched::recovery::{run_with_faults_strict, verify_faulty_outcome, FaultyOutcome};
 use coflow::sched::resilient::{fallback_chain, run_resilient};
-use coflow::{AlgorithmSpec, Instance, OrderRule};
+use coflow::{
+    compute_order, run_greedy, run_greedy_with_faults, run_online_opts, run_online_with_faults,
+    AlgorithmSpec, Instance, OnlineOptions, OrderRule, ScheduleOutcome,
+};
 use coflow_lp::SimplexOptions;
 use coflow_netsim::FaultPlan;
+use coflow_workloads::json::{self, fmt_f64, JsonValue};
+use std::fmt::Write as _;
 
 /// One fault-rate measurement.
 #[derive(Clone, Debug)]
@@ -168,6 +173,320 @@ pub fn render_faults(report: &FaultReport) -> String {
     s
 }
 
+/// Schema tag of the policy-table JSON report; bump on layout changes.
+pub const POLICIES_SCHEMA: &str = "coflow-fault-policies/1";
+
+/// The LP-free policies compared under fault injection, in report order.
+/// These are the combinations the unified engine made possible: the online
+/// ρ/w scheduler (fresh and stale priorities) and the priority-greedy
+/// baseline, each running slot-by-slot against a live [`FaultPlan`].
+pub const FAULT_POLICIES: [&str; 3] = ["online", "online-stale", "greedy"];
+
+/// One (policy, rate) measurement.
+#[derive(Clone, Debug)]
+pub struct PolicyFaultCell {
+    /// Policy name (one of [`FAULT_POLICIES`]).
+    pub policy: &'static str,
+    /// Fault rate fed to [`FaultPlan::generate`].
+    pub rate: f64,
+    /// Injected events at this rate.
+    pub events: usize,
+    /// Coflows cancelled by the plan before completing.
+    pub cancelled: usize,
+    /// Planning epochs charged by the engine (1 = quiet plan).
+    pub replans: usize,
+    /// Planned units stranded by outages/degradations.
+    pub blocked_units: u64,
+    /// `Σ w_k C_k` over surviving coflows, under faults.
+    pub objective: f64,
+    /// `Σ w_k C_k` over the *same* surviving coflows, fault-free.
+    pub baseline_objective: f64,
+    /// `objective / baseline_objective` (1.0 when faults cost nothing).
+    pub inflation: f64,
+}
+
+/// One policy's row block: fault-free reference plus per-rate cells.
+#[derive(Clone, Debug)]
+pub struct PolicyFaultRows {
+    /// Policy name.
+    pub policy: &'static str,
+    /// Fault-free TWCT over all coflows.
+    pub fault_free_objective: f64,
+    /// Per-rate results.
+    pub cells: Vec<PolicyFaultCell>,
+}
+
+/// The policy × rate experiment.
+#[derive(Clone, Debug)]
+pub struct PolicyFaultReport {
+    /// Plan seed.
+    pub seed: u64,
+    /// One block per policy in [`FAULT_POLICIES`] order.
+    pub policies: Vec<PolicyFaultRows>,
+}
+
+/// Runs the LP-free policies (online fresh/stale, greedy) under the same
+/// seeded fault plans that [`run_faults`] feeds the resilient pipeline.
+/// Every plan is shared across policies at a given rate, so the rows are
+/// directly comparable. Panics (via [`verify_faulty_outcome`]) if any
+/// policy produces an invalid schedule — that is an engine bug, not data.
+pub fn run_fault_policies(instance: &Instance, rates: &[f64], seed: u64) -> PolicyFaultReport {
+    let order = compute_order(instance, OrderRule::LoadOverWeight);
+    let baselines: Vec<(&'static str, ScheduleOutcome)> = vec![
+        ("online", run_online_opts(instance, OnlineOptions::default())),
+        ("online-stale", run_online_opts(instance, OnlineOptions::legacy())),
+        ("greedy", run_greedy(instance, order.clone())),
+    ];
+    let horizon = baselines
+        .iter()
+        .map(|(_, b)| b.makespan())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+
+    let run_policy = |name: &str, plan: &FaultPlan| -> FaultyOutcome {
+        let result = match name {
+            "online" => run_online_with_faults(instance, OnlineOptions::default(), plan),
+            "online-stale" => run_online_with_faults(instance, OnlineOptions::legacy(), plan),
+            "greedy" => run_greedy_with_faults(instance, order.clone(), plan),
+            other => panic!("unknown fault policy '{}'", other),
+        };
+        match result {
+            Ok(out) => out,
+            Err(e) => panic!("policy {}: engine bug under faults: {}", name, e),
+        }
+    };
+
+    let policies = baselines
+        .iter()
+        .map(|(name, baseline)| {
+            let cells = rates
+                .iter()
+                .enumerate()
+                .map(|(i, &rate)| {
+                    let plan = FaultPlan::generate(
+                        instance.ports(),
+                        instance.len(),
+                        horizon,
+                        rate,
+                        seed.wrapping_add(i as u64),
+                    );
+                    let out = run_policy(name, &plan);
+                    if let Err(e) = verify_faulty_outcome(instance, &plan, &out) {
+                        panic!("policy {} rate {}: invalid schedule: {}", name, rate, e);
+                    }
+                    let cancelled = out.completions.iter().filter(|c| c.is_none()).count();
+                    let baseline_objective: f64 = out
+                        .completions
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| c.is_some())
+                        .map(|(k, _)| {
+                            instance.coflow(k).weight * baseline.completions[k] as f64
+                        })
+                        .sum();
+                    let inflation = if baseline_objective > 0.0 {
+                        out.objective / baseline_objective
+                    } else {
+                        1.0
+                    };
+                    PolicyFaultCell {
+                        policy: name,
+                        rate,
+                        events: plan.events.len(),
+                        cancelled,
+                        replans: out.replans,
+                        blocked_units: out.blocked_units,
+                        objective: out.objective,
+                        baseline_objective,
+                        inflation,
+                    }
+                })
+                .collect();
+            PolicyFaultRows {
+                policy: name,
+                fault_free_objective: baseline.objective,
+                cells,
+            }
+        })
+        .collect();
+
+    PolicyFaultReport { seed, policies }
+}
+
+/// Renders the policy × rate table as plain text.
+pub fn render_fault_policies(report: &PolicyFaultReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "== Fault injection: engine policies (online/greedy), seed {} ==",
+        report.seed
+    );
+    let _ = writeln!(
+        s,
+        "{:<13} {:<6} {:<6} {:<9} {:<7} {:<8} {:<10} {:<10} inflation",
+        "policy", "rate", "events", "cancelled", "replans", "blocked", "TWCT", "baseline"
+    );
+    for rows in &report.policies {
+        for c in &rows.cells {
+            let _ = writeln!(
+                s,
+                "{:<13} {:<6.2} {:<6} {:<9} {:<7} {:<8} {:<10.0} {:<10.0} {:.3}",
+                c.policy,
+                c.rate,
+                c.events,
+                c.cancelled,
+                c.replans,
+                c.blocked_units,
+                c.objective,
+                c.baseline_objective,
+                c.inflation
+            );
+        }
+    }
+    s
+}
+
+/// Serializes the policy table as `coflow-fault-policies/1` JSON.
+pub fn render_policies_json(report: &PolicyFaultReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", json::quote(POLICIES_SCHEMA));
+    let _ = writeln!(out, "  \"seed\": {},", report.seed);
+    out.push_str("  \"policies\": [\n");
+    for (pi, rows) in report.policies.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": {},", json::quote(rows.policy));
+        let _ = writeln!(
+            out,
+            "      \"fault_free_objective\": {},",
+            fmt_f64(rows.fault_free_objective)
+        );
+        out.push_str("      \"cells\": [\n");
+        for (ci, c) in rows.cells.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{\"rate\": {}, \"events\": {}, \"cancelled\": {}, \
+                 \"replans\": {}, \"blocked_units\": {}, \"objective\": {}, \
+                 \"baseline_objective\": {}, \"inflation\": {}}}",
+                fmt_f64(c.rate),
+                c.events,
+                c.cancelled,
+                c.replans,
+                c.blocked_units,
+                fmt_f64(c.objective),
+                fmt_f64(c.baseline_objective),
+                fmt_f64(c.inflation),
+            );
+            out.push_str(if ci + 1 < rows.cells.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if pi + 1 < report.policies.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn policy_num_f64(v: &JsonValue) -> Option<f64> {
+    match v {
+        JsonValue::Num(s) => s.parse().ok(),
+        _ => None,
+    }
+}
+
+/// Validates a serialized `coflow-fault-policies/1` report:
+///
+/// * the schema tag matches and every policy in [`FAULT_POLICIES`] is
+///   present with at least one cell;
+/// * every cell carries the numeric keys and `replans >= 1` (the engine
+///   charges exactly one planning epoch even on a quiet plan);
+/// * any rate-0 cell has zero events and inflation 1 (a quiet plan cannot
+///   change the schedule);
+/// * cancellation-free cells never deflate (faults only delay survivors).
+///
+/// Returns a one-line summary on success.
+pub fn validate_policies_json(text: &str) -> Result<String, String> {
+    let doc = json::parse(text).map_err(|e| format!("parse: {}", e))?;
+    match doc.get("schema") {
+        Some(JsonValue::Str(s)) if s == POLICIES_SCHEMA => {}
+        other => {
+            return Err(format!(
+                "unsupported schema {:?} (expected {})",
+                other, POLICIES_SCHEMA
+            ))
+        }
+    }
+    let Some(JsonValue::Arr(policies)) = doc.get("policies") else {
+        return Err("missing 'policies' array".to_string());
+    };
+    let mut seen = Vec::new();
+    let mut total_cells = 0usize;
+    for p in policies {
+        let name = match p.get("name") {
+            Some(JsonValue::Str(s)) => s.clone(),
+            _ => return Err("policy missing 'name'".to_string()),
+        };
+        if p.get("fault_free_objective").and_then(policy_num_f64).is_none() {
+            return Err(format!("policy {} missing 'fault_free_objective'", name));
+        }
+        let Some(JsonValue::Arr(cells)) = p.get("cells") else {
+            return Err(format!("policy {} missing 'cells' array", name));
+        };
+        if cells.is_empty() {
+            return Err(format!("policy {} has no cells", name));
+        }
+        for cell in cells {
+            let num = |key: &str| -> Result<f64, String> {
+                cell.get(key)
+                    .and_then(policy_num_f64)
+                    .ok_or_else(|| format!("policy {} cell missing '{}'", name, key))
+            };
+            let rate = num("rate")?;
+            let events = num("events")?;
+            let cancelled = num("cancelled")?;
+            let replans = num("replans")?;
+            num("blocked_units")?;
+            num("objective")?;
+            num("baseline_objective")?;
+            let inflation = num("inflation")?;
+            if replans < 1.0 {
+                return Err(format!(
+                    "policy {} rate {}: replans {} < 1 (engine must charge an epoch)",
+                    name, rate, replans
+                ));
+            }
+            if rate == 0.0 && (events != 0.0 || (inflation - 1.0).abs() > 1e-9) {
+                return Err(format!(
+                    "policy {}: quiet plan has {} events, inflation {}",
+                    name, events, inflation
+                ));
+            }
+            if cancelled == 0.0 && inflation < 1.0 - 1e-9 {
+                return Err(format!(
+                    "policy {} rate {}: inflation {} < 1 without cancellations",
+                    name, rate, inflation
+                ));
+            }
+            total_cells += 1;
+        }
+        seen.push(name);
+    }
+    for required in FAULT_POLICIES {
+        if !seen.iter().any(|s| s == required) {
+            return Err(format!("policy '{}' missing from report", required));
+        }
+    }
+    Ok(format!(
+        "{} policies, {} cells, all invariants hold",
+        seen.len(),
+        total_cells
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +511,26 @@ mod tests {
         }
         let rendered = render_faults(&report);
         assert!(rendered.contains("inflation"));
+    }
+
+    #[test]
+    fn policy_table_covers_every_policy_and_json_round_trips() {
+        let inst = generate_trace(&TraceConfig::small(9));
+        let report = run_fault_policies(&inst, &[0.0, 0.5], 11);
+        assert_eq!(report.policies.len(), FAULT_POLICIES.len());
+        for rows in &report.policies {
+            assert_eq!(rows.cells.len(), 2);
+            let quiet = &rows.cells[0];
+            assert_eq!(quiet.events, 0);
+            assert_eq!(quiet.replans, 1, "quiet plan charges exactly one epoch");
+            assert!((quiet.inflation - 1.0).abs() < 1e-9);
+        }
+        let text = render_policies_json(&report);
+        let summary = validate_policies_json(&text).expect("valid report");
+        assert!(summary.contains("cells"));
+        assert!(validate_policies_json("{\"schema\": \"other/9\"}").is_err());
+        // A deflating cancellation-free cell must be rejected.
+        let broken = text.replacen("\"inflation\": 1.0}", "\"inflation\": 0.5}", 1);
+        assert!(validate_policies_json(&broken).is_err());
     }
 }

@@ -13,6 +13,8 @@
 //!   (`BENCH_grid.json`, baseline regression checks);
 //! * [`explain`] — schedule forensics over the grid: per-coflow LP
 //!   attribution, anomaly detectors, `coflow-diagnostics/1` reports;
+//! * [`pins`] — bit-identical objective pins (`BENCH_pins.json`) gating
+//!   the engine's grid/online/greedy/fault cells in `check-perf.sh`;
 //! * [`report`] — plain-text table rendering.
 
 pub mod arrivals;
@@ -23,6 +25,7 @@ pub mod grid;
 pub mod gridsweep;
 pub mod integrality;
 pub mod lowerbound;
+pub mod pins;
 pub mod profile;
 pub mod ratios;
 pub mod report;

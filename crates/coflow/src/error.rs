@@ -20,6 +20,12 @@ pub enum SchedError {
         /// `(rule name, error)` per failed tier, in attempt order.
         attempts: Vec<(&'static str, String)>,
     },
+    /// A policy produced a decision the hosting engine cannot apply (e.g.
+    /// `Decision::Execute` outside the fault-aware engine).
+    Unsupported {
+        /// What was requested and why it cannot be honored.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -34,6 +40,9 @@ impl fmt::Display for SchedError {
                     write!(f, " [{}: {}]", rule, err)?;
                 }
                 Ok(())
+            }
+            SchedError::Unsupported { what } => {
+                write!(f, "unsupported engine decision: {}", what)
             }
         }
     }

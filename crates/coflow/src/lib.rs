@@ -65,6 +65,12 @@ pub use crate::relax::{
     solve_interval_lp, solve_time_indexed_lp, solve_with_grid, try_solve_interval_lp,
     try_solve_interval_lp_with, LpExpRelaxation, LpRelaxation,
 };
+pub use crate::sched::engine::{
+    greedy_match, run_policy, run_policy_with_faults, BvnBatchPolicy, Decision, EngineError,
+    EpochState, GreedyPolicy, OnlineOptions, OnlineRhoPolicy, Policy, ResilientPolicy,
+};
+pub use crate::sched::greedy::{run_greedy, run_greedy_with_faults};
+pub use crate::sched::online::{run_online, run_online_opts, run_online_with_faults};
 pub use crate::sched::recovery::{
     run_with_faults, run_with_faults_strict, verify_faulty_outcome, FaultyOutcome,
 };

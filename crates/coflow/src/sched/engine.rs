@@ -1,0 +1,1270 @@
+//! The event-driven scheduling engine with pluggable policies.
+//!
+//! Historically the crate grew four independent time loops — the batch
+//! executor (`execute_batches`), the online ρ/w scheduler, the priority
+//! greedy baseline, and the fault/recovery epoch loop — each re-implementing
+//! arrival admission, port-conflict matching, trace emission, and completion
+//! tracking. This module unifies them: one engine owns the clock and the
+//! executor (a clean [`Fabric`] or a fault-injecting [`FaultSim`]); a
+//! [`Policy`] owns the scheduling brain and is consulted at *decision
+//! epochs* (whenever the previous decision has been carried out).
+//!
+//! The contract is deliberately small:
+//!
+//! * the engine calls [`Policy::decide`] with a read-only [`EpochState`]
+//!   snapshot (current time, the instance, live remaining demand);
+//! * the policy answers with a [`Decision`]: advance the clock, run a
+//!   matching for some slots, execute a fully planned trace (fault-aware
+//!   engine only), or declare itself finished;
+//! * the engine applies the decision, updates completions/trace/obs, and
+//!   asks again.
+//!
+//! Because the environment loop is shared, every policy×environment
+//! combination composes for free: the online and greedy schedulers run
+//! under fault injection (and hence under the flight recorder and the
+//! diagnostics detectors) exactly like the BvN pipeline does.
+//!
+//! Determinism: each policy ported here reproduces its legacy loop
+//! *bit-identically* — same `ScheduleTrace`, completions, and objective
+//! (differential-tested against frozen copies of the old loops, and pinned
+//! in CI via `experiments pin` / `scripts/check-perf.sh`).
+
+use super::recovery::FaultyOutcome;
+use super::resilient::run_resilient;
+use super::{AlgorithmSpec, ExecOptions, ScheduleOutcome};
+use crate::coflow::Coflow;
+use crate::error::SchedError;
+use crate::instance::Instance;
+use coflow_lp::SimplexOptions;
+use coflow_matching::{bvn_decompose, BvnDecomposition, IntMatrix};
+use coflow_netsim::{Fabric, FaultPlan, FaultSim, ScheduleTrace, SimError};
+use rayon::prelude::*;
+use std::fmt;
+
+/// A failure inside an engine run: either the policy could not produce a
+/// decision ([`SchedError`]) or the fault simulator rejected one as
+/// structurally invalid ([`SimError`], always a scheduler bug).
+#[derive(Clone, Debug)]
+pub enum EngineError {
+    /// The policy failed to decide.
+    Sched(SchedError),
+    /// The executor rejected a decision.
+    Sim(SimError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Sched(e) => write!(f, "policy failed: {}", e),
+            EngineError::Sim(e) => write!(f, "executor rejected decision: {}", e),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SchedError> for EngineError {
+    fn from(e: SchedError) -> Self {
+        EngineError::Sched(e)
+    }
+}
+
+impl From<SimError> for EngineError {
+    fn from(e: SimError) -> Self {
+        EngineError::Sim(e)
+    }
+}
+
+impl EngineError {
+    /// Collapses to the simulator error. Panics on the [`EngineError::Sched`]
+    /// arm — callers use this only for policies whose `decide` is
+    /// infallible (all four built-in policies), where a `Sched` error is
+    /// unreachable by construction.
+    pub fn into_sim(self) -> SimError {
+        match self {
+            EngineError::Sim(e) => e,
+            EngineError::Sched(e) => unreachable!("infallible policy failed: {}", e),
+        }
+    }
+}
+
+/// The executor behind an [`EpochState`]: policies read remaining demand
+/// through this so the same policy code runs clean or under faults.
+#[derive(Clone, Copy)]
+enum ExecRef<'a> {
+    Clean(&'a Fabric),
+    Faulty(&'a FaultSim),
+}
+
+/// Read-only snapshot of execution state at a decision epoch.
+pub struct EpochState<'a> {
+    /// Current time (end of the last executed slot). The next schedulable
+    /// slot is `now + 1`; a coflow with release date `r` is servable when
+    /// `r <= now`.
+    pub now: u64,
+    /// The instance being scheduled (full demands, releases, weights).
+    pub instance: &'a Instance,
+    exec: ExecRef<'a>,
+}
+
+impl<'a> EpochState<'a> {
+    /// Remaining demand of coflow `k` on pair `(i, j)`.
+    #[inline]
+    pub fn remaining(&self, k: usize, i: usize, j: usize) -> u64 {
+        match self.exec {
+            ExecRef::Clean(f) => f.remaining(k, i, j),
+            ExecRef::Faulty(s) => s.remaining(k, i, j),
+        }
+    }
+
+    /// Remaining demand matrix of coflow `k`.
+    #[inline]
+    pub fn remaining_matrix(&self, k: usize) -> &'a IntMatrix {
+        match self.exec {
+            ExecRef::Clean(f) => f.remaining_matrix(k),
+            ExecRef::Faulty(s) => s.remaining_matrix(k),
+        }
+    }
+
+    /// Remaining total units of coflow `k`.
+    #[inline]
+    pub fn remaining_total(&self, k: usize) -> u64 {
+        match self.exec {
+            ExecRef::Clean(f) => f.remaining_total(k),
+            ExecRef::Faulty(s) => s.remaining_total(k),
+        }
+    }
+
+    /// True when coflow `k` has been cancelled by the fault plan (always
+    /// false in the clean engine).
+    #[inline]
+    pub fn is_cancelled(&self, k: usize) -> bool {
+        match self.exec {
+            ExecRef::Clean(_) => false,
+            ExecRef::Faulty(s) => s.is_cancelled(k),
+        }
+    }
+
+    /// True when the engine is executing under fault injection.
+    pub fn under_faults(&self) -> bool {
+        matches!(self.exec, ExecRef::Faulty(_))
+    }
+}
+
+/// One policy decision, applied by the engine before the next epoch.
+#[derive(Clone, Debug)]
+pub enum Decision {
+    /// Advance the clock to the given slot without serving anything (idle
+    /// until an arrival, a batch release, or a pending cancellation).
+    Advance(u64),
+    /// Run a matching for `duration` consecutive slots starting at
+    /// `now + 1`. Each used port pair carries a priority-ordered candidate
+    /// list; the executor serves candidates in order, exhausting each one's
+    /// remaining demand on the pair (the in-group priority + backfilling
+    /// rule). Empty `pairs` idles for `duration` slots.
+    Run {
+        /// `(ingress, egress, priority-ordered coflows)`, each port used at
+        /// most once.
+        pairs: Vec<(usize, usize, Vec<usize>)>,
+        /// Number of consecutive slots to hold the matching.
+        duration: u64,
+    },
+    /// Execute a fully planned schedule trace until the fault state next
+    /// changes. Only the fault-aware engine accepts this (replay on a clean
+    /// fabric would bypass its completion bookkeeping); the clean engine
+    /// returns [`SchedError::Unsupported`].
+    Execute(ScheduleTrace),
+    /// Nothing left to schedule; the engine stops consulting the policy.
+    Finished,
+}
+
+/// A scheduling brain the engine consults at decision epochs.
+///
+/// To add a policy: decide, from the [`EpochState`] snapshot, what the
+/// fabric should do next and return it as a [`Decision`]. The engine owns
+/// all bookkeeping (clock, completions, trace, blocked demand); policies
+/// own only their planning state. See `DESIGN.md` §7 for the epoch model
+/// and the porting notes for the four built-in policies.
+pub trait Policy {
+    /// Short stable name, used in diagnostics and panic messages.
+    fn name(&self) -> &'static str;
+
+    /// Produces the next decision for the current epoch.
+    fn decide(&mut self, state: &EpochState<'_>) -> Result<Decision, SchedError>;
+
+    /// Fallback tier of the most recent planning decision (0 = requested
+    /// rule). Recorded per planning epoch into [`FaultyOutcome::tiers`].
+    fn tier(&self) -> usize {
+        0
+    }
+
+    /// The committed coflow order reported on the outcome. Defaults to the
+    /// completion order, which is the natural answer for reactive policies;
+    /// order-driven policies return their input order.
+    fn final_order(&self, completions: &[u64]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..completions.len()).collect();
+        order.sort_by_key(|&k| (completions[k], k));
+        order
+    }
+
+    /// Hands the buffers of an applied [`Decision::Run`] back to the policy
+    /// for reuse (hot-path allocation recycling). Default: drop them.
+    fn recycle(&mut self, _pairs: Vec<(usize, usize, Vec<usize>)>) {}
+
+    /// Called once after the engine loop ends (all demand delivered or the
+    /// policy declared [`Decision::Finished`]); releases any per-run
+    /// resources the policy holds, e.g. obs span guards.
+    fn finish(&mut self) {}
+}
+
+/// Runs `policy` to completion on a clean fabric.
+///
+/// Returns [`SchedError`] only when the policy itself fails or answers with
+/// a decision the clean engine cannot apply ([`Decision::Execute`]).
+/// Panics, like the legacy loops, if the policy declares itself finished
+/// while demand is undelivered — that is a policy bug, not an input error.
+pub fn run_policy<P: Policy + ?Sized>(
+    instance: &Instance,
+    policy: &mut P,
+) -> Result<ScheduleOutcome, SchedError> {
+    let _span = obs::span("sched.engine");
+    let demands = instance.demand_matrices();
+    let releases = instance.releases();
+    let mut fabric = Fabric::new(instance.ports(), &demands, &releases);
+    let mut decisions: u64 = 0;
+    while !fabric.all_done() {
+        let decision = policy.decide(&EpochState {
+            now: fabric.now(),
+            instance,
+            exec: ExecRef::Clean(&fabric),
+        })?;
+        decisions += 1;
+        match decision {
+            Decision::Advance(t) => fabric.advance_to(t),
+            Decision::Run { pairs, duration } => {
+                if pairs.is_empty() {
+                    fabric.advance_to(fabric.now() + duration);
+                } else {
+                    fabric.apply_run(&pairs, duration);
+                }
+                policy.recycle(pairs);
+            }
+            Decision::Execute(_) => {
+                policy.finish();
+                obs::counter_add("coflow.engine.decisions", decisions);
+                return Err(SchedError::Unsupported {
+                    what: "Decision::Execute requires the fault-aware engine",
+                });
+            }
+            Decision::Finished => break,
+        }
+    }
+    policy.finish();
+    obs::counter_add("coflow.engine.decisions", decisions);
+    assert!(
+        fabric.all_done(),
+        "engine: policy '{}' finished with undelivered demand (scheduler bug)",
+        policy.name()
+    );
+    let (trace, completions) = fabric.finish();
+    let objective = instance.objective(&completions);
+    let order = policy.final_order(&completions);
+    Ok(ScheduleOutcome {
+        order,
+        completions,
+        objective,
+        trace,
+    })
+}
+
+/// Runs `policy` to quiescence under `plan` on a fault-injecting simulator.
+///
+/// Planning epochs are counted uniformly for every policy (satisfying
+/// [`FaultyOutcome::replans`]/[`FaultyOutcome::tiers`]): a
+/// [`Decision::Execute`] is one epoch, exactly like the legacy recovery
+/// loop; slot-reactive policies ([`Decision::Run`]) are charged one epoch
+/// per fault window entered — each entry is where such a policy re-derives
+/// its plan from post-fault state, and a quiet plan yields exactly one
+/// epoch on both paths.
+pub fn run_policy_with_faults<P: Policy + ?Sized>(
+    instance: &Instance,
+    policy: &mut P,
+    plan: &FaultPlan,
+) -> Result<FaultyOutcome, EngineError> {
+    let _span = obs::span("sched.engine.faulty");
+    let m = instance.ports();
+    let mut sim = FaultSim::new(
+        m,
+        &instance.demand_matrices(),
+        &instance.releases(),
+        plan.clone(),
+    );
+    let boundaries = plan.boundaries();
+    let mut replans = 0usize;
+    let mut tiers: Vec<usize> = Vec::new();
+    let mut last_window: Option<usize> = None;
+
+    let mut decisions: u64 = 0;
+    let result = (|| -> Result<(), EngineError> {
+        while !sim.all_settled() {
+            let now = sim.now();
+            let decision = policy.decide(&EpochState {
+                now,
+                instance,
+                exec: ExecRef::Faulty(&sim),
+            })?;
+            decisions += 1;
+            match decision {
+                Decision::Execute(trace) => {
+                    replans += 1;
+                    tiers.push(policy.tier());
+                    obs::counter_add("coflow.recovery.epochs", 1);
+                    // Execute until the fault state next changes (needing
+                    // ≥ 1 slot of progress), or to the end of the plan when
+                    // it never does again.
+                    let stop = boundaries.iter().copied().find(|&b| b > now + 1);
+                    sim.execute_trace(&trace, stop)?;
+                }
+                Decision::Run { pairs, duration } => {
+                    // One planning epoch per fault window entered: the
+                    // window of slot now+1 is the count of boundaries at or
+                    // before it.
+                    let window = boundaries.partition_point(|&b| b <= now + 1);
+                    if last_window != Some(window) {
+                        last_window = Some(window);
+                        replans += 1;
+                        tiers.push(policy.tier());
+                        obs::counter_add("coflow.recovery.epochs", 1);
+                    }
+                    step_pairs(&mut sim, &pairs, duration)?;
+                    policy.recycle(pairs);
+                }
+                Decision::Advance(t) => sim.advance_to(t),
+                Decision::Finished => break,
+            }
+        }
+        Ok(())
+    })();
+    policy.finish();
+    obs::counter_add("coflow.engine.decisions", decisions);
+    result?;
+
+    debug_assert!(
+        sim.all_settled(),
+        "engine: policy '{}' finished with unsettled coflows",
+        policy.name()
+    );
+    let blocked = sim.blocked_log().to_vec();
+    let (executed, completions, blocked_units) = sim.finish();
+    let objective = completions
+        .iter()
+        .zip(instance.coflows())
+        .filter_map(|(c, cf)| c.map(|t| cf.weight * t as f64))
+        .sum();
+    Ok(FaultyOutcome {
+        completions,
+        executed,
+        objective,
+        replans,
+        tiers,
+        blocked_units,
+        blocked,
+    })
+}
+
+/// Executes a `pairs`/`duration` slot plan on the fault simulator slot by
+/// slot, re-resolving each pair's priority list against live remaining
+/// demand every slot (mirroring [`Fabric::apply_run`]'s exhaust-in-order
+/// semantics, but letting the simulator strand blocked units).
+fn step_pairs(
+    sim: &mut FaultSim,
+    pairs: &[(usize, usize, Vec<usize>)],
+    duration: u64,
+) -> Result<(), SimError> {
+    let mut moves: Vec<(usize, usize, usize)> = Vec::with_capacity(pairs.len());
+    for _ in 0..duration {
+        moves.clear();
+        for (i, j, prio) in pairs {
+            if let Some(&k) = prio.iter().find(|&&k| sim.remaining(k, *i, *j) > 0) {
+                moves.push((*i, *j, k));
+            }
+        }
+        sim.step(&moves)?;
+    }
+    Ok(())
+}
+
+/// Greedily matches free port pairs to candidate coflows in the given
+/// priority order: the shared port-conflict matcher behind both the online
+/// and greedy policies (previously duplicated in `online.rs`/`greedy.rs`).
+///
+/// Scans `candidates` front to back; for each, claims every still-free
+/// `(ingress, egress)` pair with remaining demand. Stops early once all `m`
+/// ingresses are matched (every later claim would conflict). `src_used`/
+/// `dst_used` are caller-provided scratch (cleared here) so hot loops can
+/// reuse them. Returns unit moves `(src, dst, coflow)` in discovery order.
+pub fn greedy_match<'a, I, F>(
+    m: usize,
+    candidates: I,
+    remaining: F,
+    src_used: &mut [bool],
+    dst_used: &mut [bool],
+) -> Vec<(usize, usize, usize)>
+where
+    I: IntoIterator<Item = usize>,
+    F: Fn(usize) -> &'a IntMatrix,
+{
+    src_used.iter_mut().for_each(|b| *b = false);
+    dst_used.iter_mut().for_each(|b| *b = false);
+    let mut moves: Vec<(usize, usize, usize)> = Vec::new();
+    let mut matched = 0usize;
+    for k in candidates {
+        if matched == m {
+            break;
+        }
+        for (i, j, _) in remaining(k).nonzero_entries() {
+            if !src_used[i] && !dst_used[j] {
+                src_used[i] = true;
+                dst_used[j] = true;
+                matched += 1;
+                moves.push((i, j, k));
+            }
+        }
+    }
+    moves
+}
+
+// ---------------------------------------------------------------------------
+// BvnBatchPolicy: the paper's batch pipeline (grouping × backfill × rematch
+// × maxmin), ported decision-for-decision from the legacy `execute_batches`.
+// ---------------------------------------------------------------------------
+
+/// With rematching, long runs are split into short chunks so freshly
+/// drained pairs are re-matched promptly; chunking only re-plans the same
+/// matching, so the paper-mode schedule is untouched.
+const REMATCH_CHUNK: u64 = 4;
+
+/// The batch currently being executed: its decomposition, the pending
+/// chunk queue, and the batch's eligibility horizon.
+struct ActiveBatch {
+    dec: BvnDecomposition,
+    chunks: std::vec::IntoIter<(usize, u64)>,
+    batch_end_pos: usize,
+}
+
+/// The batch-pipeline policy: partitions the committed order into batches,
+/// waits for each batch's releases, clears its aggregated remaining demand
+/// with a Birkhoff–von Neumann schedule, and (per [`ExecOptions`]) donates
+/// idle capacity via same-pair backfilling or work-conserving rematching.
+///
+/// Scheduling state (order positions, per-pair queues with permanent
+/// prefix trims, pre-fanned decompositions, spare candidate buffers) lives
+/// here; the engine owns the clock and the fabric.
+pub struct BvnBatchPolicy {
+    order: Vec<usize>,
+    batches: Vec<Vec<usize>>,
+    opts: ExecOptions,
+    /// Position of each coflow in the global order.
+    pos: Vec<usize>,
+    /// Per-pair coflow queues in global order: candidates for service on a
+    /// pair, indexed by `i * m + j` and scanned front to back. `pair_head`
+    /// remembers how far each queue's prefix of pair-finished coflows
+    /// reaches — `remaining(k, i, j)` only ever decreases, so the trim is
+    /// permanent and the skipped prefix can never become a candidate again.
+    pair_queue: Vec<Vec<usize>>,
+    pair_head: Vec<usize>,
+    /// Without backfilling or rematching, no coflow receives service before
+    /// its own batch runs, so every batch's remaining demand at its turn
+    /// equals its full demand. The per-batch aggregates — and hence the
+    /// Birkhoff–von Neumann decompositions, by far the hottest per-batch
+    /// work — are then independent of execution order and are computed up
+    /// front in the constructor, fanned out over worker threads. Result
+    /// order is deterministic: the parallel map preserves input order.
+    precomputed: Vec<Option<BvnDecomposition>>,
+    parallel_decompose: bool,
+    b_idx: usize,
+    current: Option<ActiveBatch>,
+    /// Reused across chunks: the outer run buffer and a spare-buffer pool
+    /// for the per-pair candidate lists (returned via [`Policy::recycle`]).
+    pairs_pool: Vec<(usize, usize, Vec<usize>)>,
+    spare: Vec<Vec<usize>>,
+    src_used: Vec<bool>,
+    dst_used: Vec<bool>,
+    /// Per-batch `sched.simulate` span, held across decisions while the
+    /// batch's chunks execute (kept so the obs stage taxonomy matches the
+    /// legacy loop). Must be `None` before a new span is assigned.
+    sim_span: Option<obs::SpanGuard>,
+}
+
+impl BvnBatchPolicy {
+    /// Builds the policy for `order` partitioned into `batches`
+    /// (consecutive runs of the order; every caller in this crate
+    /// guarantees this).
+    pub fn new(
+        instance: &Instance,
+        order: Vec<usize>,
+        batches: Vec<Vec<usize>>,
+        opts: ExecOptions,
+    ) -> Self {
+        let n = instance.len();
+        let m = instance.ports();
+        let mut pos = vec![usize::MAX; n];
+        for (p, &k) in order.iter().enumerate() {
+            pos[k] = p;
+        }
+        debug_assert!(
+            pos.iter().all(|&p| p != usize::MAX),
+            "order must be a permutation"
+        );
+        let mut pair_queue: Vec<Vec<usize>> = vec![Vec::new(); m * m];
+        for &k in &order {
+            for (i, j, _) in instance.coflow(k).demand.nonzero_entries() {
+                pair_queue[i * m + j].push(k);
+            }
+        }
+        let parallel_decompose =
+            !opts.backfill && !opts.rematch && !opts.sequential_decompose;
+        let precomputed: Vec<Option<BvnDecomposition>> = if parallel_decompose {
+            let aggregates: Vec<Option<IntMatrix>> = batches
+                .iter()
+                .map(|batch| {
+                    let mut agg = IntMatrix::zeros(m);
+                    for &k in batch {
+                        for (i, j, v) in instance.coflow(k).demand.nonzero_entries() {
+                            agg[(i, j)] += v;
+                        }
+                    }
+                    if agg.is_zero() {
+                        None
+                    } else {
+                        Some(agg)
+                    }
+                })
+                .collect();
+            aggregates
+                .par_iter()
+                .map(|agg| {
+                    agg.as_ref().map(|a| {
+                        if opts.maxmin_decomposition {
+                            coflow_matching::bvn_decompose_maxmin(a)
+                        } else {
+                            bvn_decompose(a)
+                        }
+                    })
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        BvnBatchPolicy {
+            order,
+            batches,
+            opts,
+            pos,
+            pair_queue,
+            pair_head: vec![0; m * m],
+            precomputed,
+            parallel_decompose,
+            b_idx: 0,
+            current: None,
+            pairs_pool: Vec::new(),
+            spare: Vec::new(),
+            src_used: vec![false; m],
+            dst_used: vec![false; m],
+            sim_span: None,
+        }
+    }
+
+    /// Plans the candidate lists for one chunk of the active batch,
+    /// identically to the legacy chunk loop: per-pair queue scan with
+    /// permanent head trims, eligibility gate
+    /// `release <= now && (pos <= batch_end_pos || backfill)`, and — with
+    /// rematching — re-matching of unused ports to pending demand in
+    /// priority order.
+    fn plan_chunk(
+        &mut self,
+        state: &EpochState<'_>,
+        cur: &ActiveBatch,
+        slot_idx: usize,
+    ) -> Vec<(usize, usize, Vec<usize>)> {
+        let instance = state.instance;
+        let m = instance.ports();
+        let now = state.now;
+        let backfill = self.opts.backfill;
+        let rematch = self.opts.rematch;
+        let batch_end_pos = cur.batch_end_pos;
+        let slot = &cur.dec.slots[slot_idx];
+        let Self {
+            order,
+            pos,
+            pair_queue,
+            pair_head,
+            pairs_pool,
+            spare,
+            src_used,
+            dst_used,
+            ..
+        } = self;
+        let eligible =
+            |k: usize| instance.coflow(k).release <= now && (pos[k] <= batch_end_pos || backfill);
+        let mut pairs = std::mem::take(pairs_pool);
+        debug_assert!(pairs.is_empty(), "recycle must drain the run buffer");
+        if rematch {
+            src_used.fill(false);
+            dst_used.fill(false);
+        }
+        for (i, j) in slot.perm.pairs() {
+            let head = &mut pair_head[i * m + j];
+            let queue = &pair_queue[i * m + j];
+            while *head < queue.len() && state.remaining(queue[*head], i, j) == 0 {
+                *head += 1;
+            }
+            if *head == queue.len() {
+                continue;
+            }
+            let mut candidates = spare.pop().unwrap_or_default();
+            candidates.extend(
+                queue[*head..]
+                    .iter()
+                    .copied()
+                    .filter(|&k| eligible(k) && state.remaining(k, i, j) > 0),
+            );
+            if candidates.is_empty() {
+                spare.push(candidates);
+            } else {
+                if rematch {
+                    src_used[i] = true;
+                    dst_used[j] = true;
+                }
+                pairs.push((i, j, candidates));
+            }
+        }
+        if rematch {
+            // Work-conserving extension: ports whose matched pair has
+            // nothing to send are re-matched to pending demand, scanning
+            // coflows in priority order.
+            for &k in order.iter() {
+                if !eligible(k) || state.remaining_total(k) == 0 {
+                    continue;
+                }
+                for (i, j, _) in instance.coflow(k).demand.nonzero_entries() {
+                    if !src_used[i] && !dst_used[j] && state.remaining(k, i, j) > 0 {
+                        src_used[i] = true;
+                        dst_used[j] = true;
+                        let mut candidates = spare.pop().unwrap_or_default();
+                        candidates.extend(
+                            pair_queue[i * m + j]
+                                .iter()
+                                .copied()
+                                .filter(|&c| eligible(c) && state.remaining(c, i, j) > 0),
+                        );
+                        pairs.push((i, j, candidates));
+                    }
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Orders the decomposition's matchings so the group's coflows complete
+    /// in priority order. Algorithm 1 admits any slot order (the group
+    /// still clears in exactly ρ slots, so Lemma 4 and Proposition 1 are
+    /// untouched), but applying, for each group coflow in order, the slots
+    /// that still serve it lets that coflow finish as early as the
+    /// decomposition allows instead of at the group's end. Leftover slots
+    /// (serving only backfill demand) run last.
+    fn order_slots(
+        &self,
+        state: &EpochState<'_>,
+        dec: &BvnDecomposition,
+        b_idx: usize,
+    ) -> Vec<usize> {
+        let instance = state.instance;
+        let batch = &self.batches[b_idx];
+        let mut slot_sequence: Vec<usize> = Vec::with_capacity(dec.slots.len());
+        let mut pending: Vec<usize> = (0..dec.slots.len()).collect();
+        let mut rem: Vec<IntMatrix> = batch
+            .iter()
+            .map(|&k| {
+                let mut r = IntMatrix::zeros(instance.ports());
+                for (i, j, _) in instance.coflow(k).demand.nonzero_entries() {
+                    r[(i, j)] = state.remaining(k, i, j);
+                }
+                r
+            })
+            .collect();
+        for (member, _k) in batch.iter().enumerate() {
+            while !rem[member].is_zero() {
+                // First pending slot that serves this coflow: within a
+                // group, pairs serve members in order, so any slot covering
+                // a pair with remaining demand serves it.
+                let found = pending.iter().position(|&s| {
+                    dec.slots[s]
+                        .perm
+                        .pairs()
+                        .any(|(i, j)| rem[member][(i, j)] > 0)
+                });
+                let Some(p_idx) = found else {
+                    unreachable!("BvN coverage must clear every group coflow")
+                };
+                let s = pending.remove(p_idx);
+                let q = dec.slots[s].count;
+                // Account the service this slot gives each group member
+                // (pairs serve members in order).
+                for (i, j) in dec.slots[s].perm.pairs() {
+                    let mut budget = q;
+                    for r in rem.iter_mut() {
+                        if budget == 0 {
+                            break;
+                        }
+                        let take = r[(i, j)].min(budget);
+                        r[(i, j)] -= take;
+                        budget -= take;
+                    }
+                }
+                slot_sequence.push(s);
+            }
+        }
+        slot_sequence.extend(pending);
+        slot_sequence
+    }
+}
+
+/// Splits a slot sequence into `(slot index, length)` chunks; without
+/// rematching every slot is one chunk of its full count.
+fn chunk_slots(
+    slot_sequence: Vec<usize>,
+    dec: &BvnDecomposition,
+    rematch: bool,
+) -> Vec<(usize, u64)> {
+    slot_sequence
+        .into_iter()
+        .flat_map(|slot_idx| {
+            let q = dec.slots[slot_idx].count;
+            if rematch && q > REMATCH_CHUNK {
+                let chunks = q.div_ceil(REMATCH_CHUNK);
+                (0..chunks)
+                    .map(|c| {
+                        let len = REMATCH_CHUNK.min(q - c * REMATCH_CHUNK);
+                        (slot_idx, len)
+                    })
+                    .collect::<Vec<_>>()
+            } else {
+                vec![(slot_idx, q)]
+            }
+        })
+        .collect()
+}
+
+impl Policy for BvnBatchPolicy {
+    fn name(&self) -> &'static str {
+        "bvn-batch"
+    }
+
+    fn decide(&mut self, state: &EpochState<'_>) -> Result<Decision, SchedError> {
+        let instance = state.instance;
+        let m = instance.ports();
+        loop {
+            // Emit the next chunk of the batch in flight, if any.
+            if let Some(mut cur) = self.current.take() {
+                if let Some((slot_idx, chunk_len)) = cur.chunks.next() {
+                    let pairs = self.plan_chunk(state, &cur, slot_idx);
+                    self.current = Some(cur);
+                    return Ok(Decision::Run {
+                        pairs,
+                        duration: chunk_len,
+                    });
+                }
+                // Batch done: close its simulate span before planning the
+                // next one.
+                self.sim_span = None;
+                continue;
+            }
+
+            // Plan the next batch.
+            if self.b_idx >= self.batches.len() {
+                return Ok(Decision::Finished);
+            }
+            let b_idx = self.b_idx;
+            let batch = &self.batches[b_idx];
+            if batch.is_empty() {
+                self.b_idx += 1;
+                continue;
+            }
+            // Algorithm 2: schedule the group only after all members'
+            // releases. Members with no remaining demand (zero-demand
+            // coflows, or demand already cleared by backfilling) cannot
+            // gate the group: they are complete regardless, and waiting
+            // for them could only delay others.
+            let batch_release = batch
+                .iter()
+                .filter(|&&k| state.remaining_total(k) > 0)
+                .map(|&k| instance.coflow(k).release)
+                .max();
+            let Some(batch_release) = batch_release else {
+                // Everything in this batch is already done.
+                self.b_idx += 1;
+                continue;
+            };
+            if batch_release > state.now {
+                // Re-entered after the engine advances the clock; the
+                // recomputation above is idempotent (no service happens
+                // while idling).
+                return Ok(Decision::Advance(batch_release));
+            }
+            let batch_end_pos = batch
+                .iter()
+                .map(|&k| self.pos[k])
+                .max()
+                .unwrap_or_else(|| unreachable!("batch checked non-empty above"));
+
+            // Aggregate the *remaining* demand of the batch (earlier
+            // backfilling may have partially cleared it); the parallel path
+            // fanned the decompositions out in the constructor instead.
+            let agg = if self.parallel_decompose {
+                None
+            } else {
+                let mut agg = IntMatrix::zeros(m);
+                for &k in batch {
+                    for (i, j, _) in instance.coflow(k).demand.nonzero_entries() {
+                        agg[(i, j)] += state.remaining(k, i, j);
+                    }
+                }
+                Some(agg)
+            };
+            let dec = match agg {
+                Some(agg) if agg.is_zero() => {
+                    self.b_idx += 1;
+                    continue;
+                }
+                Some(agg) => {
+                    if self.opts.maxmin_decomposition {
+                        coflow_matching::bvn_decompose_maxmin(&agg)
+                    } else {
+                        bvn_decompose(&agg)
+                    }
+                }
+                None => match self.precomputed[b_idx].take() {
+                    Some(dec) => dec,
+                    // The precompute saw a zero aggregate, which (without
+                    // backfill) also means `batch_release` above was
+                    // `None`; this arm is unreachable but harmless.
+                    None => {
+                        self.b_idx += 1;
+                        continue;
+                    }
+                },
+            };
+
+            let slot_sequence = self.order_slots(state, &dec, b_idx);
+            let chunked = chunk_slots(slot_sequence, &dec, self.opts.rematch);
+
+            obs::counter_add("coflow.sched.batches", 1);
+            debug_assert!(
+                self.sim_span.is_none(),
+                "simulate span must be closed between batches"
+            );
+            self.sim_span = Some(obs::span("sched.simulate"));
+            self.current = Some(ActiveBatch {
+                dec,
+                chunks: chunked.into_iter(),
+                batch_end_pos,
+            });
+            self.b_idx += 1;
+        }
+    }
+
+    fn final_order(&self, _completions: &[u64]) -> Vec<usize> {
+        self.order.clone()
+    }
+
+    fn recycle(&mut self, mut pairs: Vec<(usize, usize, Vec<usize>)>) {
+        // Recycle the chunk's candidate buffers and the outer run buffer
+        // instead of reallocating them per pair per chunk.
+        for (_, _, mut buf) in pairs.drain(..) {
+            buf.clear();
+            self.spare.push(buf);
+        }
+        self.pairs_pool = pairs;
+    }
+
+    fn finish(&mut self) {
+        self.sim_span = None;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OnlineRhoPolicy: the online ρ/w-priority scheduler.
+// ---------------------------------------------------------------------------
+
+/// Behavior knobs of [`OnlineRhoPolicy`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OnlineOptions {
+    /// Re-sort the ρ(remaining)/w priority order at completion epochs too,
+    /// not just on arrivals. The legacy scheduler re-sorted only when a
+    /// coflow arrived, so between arrivals it kept serving an order
+    /// computed against *stale* remaining loads even though every slot
+    /// drains them; completions are exactly the moments the head of the
+    /// order changes. `true` (the default) fixes that;
+    /// [`OnlineOptions::legacy`] keeps the old behavior bit-for-bit for
+    /// comparisons (the objective delta is tabulated in EXPERIMENTS.md).
+    pub resort_on_completion: bool,
+}
+
+impl Default for OnlineOptions {
+    fn default() -> Self {
+        OnlineOptions {
+            resort_on_completion: true,
+        }
+    }
+}
+
+impl OnlineOptions {
+    /// The legacy arrival-only re-sort behavior (stale priorities between
+    /// arrivals).
+    pub fn legacy() -> Self {
+        OnlineOptions {
+            resort_on_completion: false,
+        }
+    }
+}
+
+/// The online scheduler: maintains a priority order over *released,
+/// unfinished* coflows by the Smith-style ratio `ρ(remaining) / weight`
+/// (the online analogue of `H_ρ`) and serves a greedy matching in priority
+/// order every slot. Never looks at coflows before their release dates, so
+/// its decisions are legitimately online — which also makes it safe to run
+/// under fault injection: it replans from live state every slot.
+pub struct OnlineRhoPolicy {
+    opts: OnlineOptions,
+    weights: Vec<f64>,
+    /// Arrival events in time order.
+    events: Vec<(u64, usize)>,
+    next_event: usize,
+    active: Vec<usize>,
+    src_used: Vec<bool>,
+    dst_used: Vec<bool>,
+}
+
+impl OnlineRhoPolicy {
+    /// Builds the policy over the instance's arrival events.
+    pub fn new(instance: &Instance, opts: OnlineOptions) -> Self {
+        let n = instance.len();
+        let m = instance.ports();
+        let mut events: Vec<(u64, usize)> =
+            instance.releases().iter().copied().zip(0..n).collect();
+        events.sort_unstable();
+        OnlineRhoPolicy {
+            opts,
+            weights: instance.weights(),
+            events,
+            next_event: 0,
+            active: Vec::new(),
+            src_used: vec![false; m],
+            dst_used: vec![false; m],
+        }
+    }
+}
+
+impl Policy for OnlineRhoPolicy {
+    fn name(&self) -> &'static str {
+        "online-rho"
+    }
+
+    fn decide(&mut self, state: &EpochState<'_>) -> Result<Decision, SchedError> {
+        let now = state.now;
+        // Coflows drained (or cancelled) since the previous decision leave
+        // the active set; with `resort_on_completion` that also refreshes
+        // the priorities.
+        let before = self.active.len();
+        self.active.retain(|&k| state.remaining_total(k) > 0);
+        let completed = self.active.len() != before;
+        // Admit arrivals with release <= now (servable from slot now+1 on).
+        let mut admitted = false;
+        while self.next_event < self.events.len() && self.events[self.next_event].0 <= now {
+            let k = self.events[self.next_event].1;
+            self.next_event += 1;
+            if state.remaining_total(k) > 0 {
+                self.active.push(k);
+                admitted = true;
+            }
+        }
+        if admitted || (self.opts.resort_on_completion && completed) {
+            let weights = &self.weights;
+            self.active.sort_by(|&a, &b| {
+                let ka = state.remaining_matrix(a).load() as f64 / weights[a];
+                let kb = state.remaining_matrix(b).load() as f64 / weights[b];
+                ka.total_cmp(&kb).then(a.cmp(&b))
+            });
+        }
+        if self.active.is_empty() {
+            if self.next_event == self.events.len() {
+                // Nothing active and nothing to come: every coflow is
+                // drained (complete or cancelled).
+                return Ok(Decision::Finished);
+            }
+            // Idle until the next arrival.
+            return Ok(Decision::Advance(self.events[self.next_event].0));
+        }
+        let moves = greedy_match(
+            state.instance.ports(),
+            self.active.iter().copied(),
+            |k| state.remaining_matrix(k),
+            &mut self.src_used,
+            &mut self.dst_used,
+        );
+        debug_assert!(!moves.is_empty(), "active coflows must be servable");
+        Ok(Decision::Run {
+            pairs: moves.into_iter().map(|(i, j, k)| (i, j, vec![k])).collect(),
+            duration: 1,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GreedyPolicy: the priority-greedy slot-by-slot baseline.
+// ---------------------------------------------------------------------------
+
+/// The work-conserving greedy baseline (in the spirit of Varys): every
+/// slot, scan coflows in the committed order and greedily match any free
+/// (ingress, egress) pair with remaining demand. Never plans ahead, so it
+/// wastes no capacity on augmentation but offers no worst-case guarantee.
+pub struct GreedyPolicy {
+    order: Vec<usize>,
+    releases: Vec<u64>,
+    src_used: Vec<bool>,
+    dst_used: Vec<bool>,
+}
+
+impl GreedyPolicy {
+    /// Builds the policy with the given committed coflow order.
+    pub fn new(instance: &Instance, order: Vec<usize>) -> Self {
+        let m = instance.ports();
+        GreedyPolicy {
+            releases: instance.releases(),
+            order,
+            src_used: vec![false; m],
+            dst_used: vec![false; m],
+        }
+    }
+}
+
+impl Policy for GreedyPolicy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn decide(&mut self, state: &EpochState<'_>) -> Result<Decision, SchedError> {
+        let slot = state.now + 1;
+        let releases = &self.releases;
+        let candidates = self
+            .order
+            .iter()
+            .copied()
+            .filter(|&k| state.remaining_total(k) > 0 && releases[k] < slot);
+        let moves = greedy_match(
+            state.instance.ports(),
+            candidates,
+            |k| state.remaining_matrix(k),
+            &mut self.src_used,
+            &mut self.dst_used,
+        );
+        if moves.is_empty() {
+            // Nothing servable: jump to the next release to avoid spinning.
+            // (Any released coflow with remaining demand would have matched
+            // on a free fabric, so unserved demand is strictly future.)
+            let next_release = releases
+                .iter()
+                .enumerate()
+                .filter(|&(k, &r)| state.remaining_total(k) > 0 && r >= slot)
+                .map(|(_, &r)| r)
+                .min()
+                .unwrap_or_else(|| unreachable!("unfinished demand must have a future release"));
+            return Ok(Decision::Advance(next_release));
+        }
+        Ok(Decision::Run {
+            pairs: moves.into_iter().map(|(i, j, k)| (i, j, vec![k])).collect(),
+            duration: 1,
+        })
+    }
+
+    fn final_order(&self, _completions: &[u64]) -> Vec<usize> {
+        self.order.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ResilientPolicy: plan-ahead recovery via the H_LP → H_ρ → H_A chain.
+// ---------------------------------------------------------------------------
+
+/// The recovery policy: at each planning epoch, builds the residual
+/// instance (live coflows, remaining demand, releases clamped to now) and
+/// plans it with [`run_resilient`] — degrading `H_LP → H_ρ → H_A` under
+/// the configured solver budgets — then hands the planned trace to the
+/// engine to execute until the fault state next changes. This is the
+/// legacy `run_with_faults` epoch loop, expressed as a policy; it requires
+/// the fault-aware engine ([`run_policy_with_faults`]).
+pub struct ResilientPolicy {
+    spec: AlgorithmSpec,
+    lp_opts: SimplexOptions,
+    last_tier: usize,
+}
+
+impl ResilientPolicy {
+    /// Builds the policy for the given grid cell and solver budgets.
+    pub fn new(spec: AlgorithmSpec, lp_opts: SimplexOptions) -> Self {
+        ResilientPolicy {
+            spec,
+            lp_opts,
+            last_tier: 0,
+        }
+    }
+}
+
+impl Policy for ResilientPolicy {
+    fn name(&self) -> &'static str {
+        "resilient"
+    }
+
+    fn tier(&self) -> usize {
+        self.last_tier
+    }
+
+    fn decide(&mut self, state: &EpochState<'_>) -> Result<Decision, SchedError> {
+        let instance = state.instance;
+        let now = state.now;
+        // Residual instance: live coflows with their remaining demand,
+        // released no earlier than the current slot so the planned trace
+        // lands strictly in the future. Coflow ids are preserved so H_A
+        // stays the trace arrival order across replans.
+        let mut residual_to_orig = Vec::new();
+        let mut residual = Vec::new();
+        for k in 0..instance.len() {
+            if state.is_cancelled(k) || state.remaining_total(k) == 0 {
+                continue;
+            }
+            let c = instance.coflow(k);
+            residual_to_orig.push(k);
+            residual.push(
+                Coflow::new(c.id, state.remaining_matrix(k).clone())
+                    .with_weight(c.weight)
+                    .with_release(c.release.max(now)),
+            );
+        }
+        if residual.is_empty() {
+            // Nothing left to serve, but some coflow is still pending a
+            // future cancellation — step the clock to settle it.
+            return Ok(Decision::Advance(now + 1));
+        }
+        let residual_instance = Instance::new(instance.ports(), residual);
+        let planned = run_resilient(&residual_instance, &self.spec, &self.lp_opts);
+        self.last_tier = planned.tier;
+
+        // The planner numbers coflows by residual index; map back.
+        let mut trace = planned.outcome.trace;
+        for run in &mut trace.runs {
+            for t in &mut run.transfers {
+                t.coflow = residual_to_orig[t.coflow];
+            }
+        }
+        Ok(Decision::Execute(trace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use coflow_matching::IntMatrix;
+
+    fn inst() -> Instance {
+        let c0 = Coflow::new(0, IntMatrix::from_nested(&[[3, 1], [0, 2]])).with_weight(2.0);
+        let c1 = Coflow::new(1, IntMatrix::from_nested(&[[1, 4], [2, 0]]));
+        let c2 = Coflow::new(2, IntMatrix::from_nested(&[[0, 0], [5, 1]]))
+            .with_weight(0.5)
+            .with_release(3);
+        Instance::new(2, vec![c0, c1, c2])
+    }
+
+    #[test]
+    fn clean_engine_rejects_execute_decisions() {
+        struct Always;
+        impl Policy for Always {
+            fn name(&self) -> &'static str {
+                "always-execute"
+            }
+            fn decide(&mut self, state: &EpochState<'_>) -> Result<Decision, SchedError> {
+                Ok(Decision::Execute(ScheduleTrace::new(
+                    state.instance.ports(),
+                )))
+            }
+        }
+        let err = run_policy(&inst(), &mut Always).unwrap_err();
+        assert!(matches!(err, SchedError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn greedy_match_respects_port_exclusivity_and_order() {
+        let a = IntMatrix::from_nested(&[[1, 1], [0, 0]]);
+        let b = IntMatrix::from_nested(&[[1, 0], [0, 1]]);
+        let mats = [a, b];
+        let mut src = vec![false; 2];
+        let mut dst = vec![false; 2];
+        let moves = greedy_match(2, [0usize, 1], |k| &mats[k], &mut src, &mut dst);
+        // Coflow 0 claims (0,0); its (0,1) conflicts on the ingress; coflow
+        // 1 then claims (1,1).
+        assert_eq!(moves, vec![(0, 0, 0), (1, 1, 1)]);
+    }
+
+    #[test]
+    fn epoch_state_reports_environment() {
+        let instance = inst();
+        struct Probe {
+            saw_faults: Option<bool>,
+        }
+        impl Policy for Probe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn decide(&mut self, state: &EpochState<'_>) -> Result<Decision, SchedError> {
+                if self.saw_faults.is_none() {
+                    self.saw_faults = Some(state.under_faults());
+                }
+                // Serve everything via a trivial greedy sweep.
+                let n = state.instance.len();
+                let m = state.instance.ports();
+                let mut src = vec![false; m];
+                let mut dst = vec![false; m];
+                let moves = greedy_match(
+                    m,
+                    (0..n).filter(|&k| {
+                        state.remaining_total(k) > 0
+                            && state.instance.coflow(k).release <= state.now
+                    }),
+                    |k| state.remaining_matrix(k),
+                    &mut src,
+                    &mut dst,
+                );
+                if moves.is_empty() {
+                    return Ok(Decision::Advance(state.now + 1));
+                }
+                Ok(Decision::Run {
+                    pairs: moves.into_iter().map(|(i, j, k)| (i, j, vec![k])).collect(),
+                    duration: 1,
+                })
+            }
+        }
+        let mut probe = Probe { saw_faults: None };
+        let out = run_policy(&instance, &mut probe).expect("probe policy runs clean");
+        assert_eq!(probe.saw_faults, Some(false));
+        assert!(out.completions.iter().all(|&c| c > 0));
+
+        let mut probe = Probe { saw_faults: None };
+        let fault_out =
+            run_policy_with_faults(&instance, &mut probe, &FaultPlan::default())
+                .expect("probe policy runs under the (empty) fault plan");
+        assert_eq!(probe.saw_faults, Some(true));
+        assert_eq!(fault_out.replans, 1, "quiet plan charges exactly one epoch");
+        assert!(fault_out.completions.iter().all(Option::is_some));
+    }
+}

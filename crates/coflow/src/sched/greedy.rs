@@ -6,89 +6,37 @@
 //! plans ahead, so it wastes no capacity on augmentation but offers no
 //! worst-case guarantee. Used as an additional comparison point in the
 //! experiment harness.
+//!
+//! The implementation lives in [`engine::GreedyPolicy`]; these entry points
+//! are shims over the engine, which also makes the baseline composable with
+//! fault injection ([`run_greedy_with_faults`]).
 
 use crate::instance::Instance;
+use crate::sched::engine::{run_policy, run_policy_with_faults, GreedyPolicy};
+use crate::sched::recovery::FaultyOutcome;
 use crate::sched::ScheduleOutcome;
-use coflow_matching::IntMatrix;
-use coflow_netsim::{Run, ScheduleTrace, Transfer};
+use coflow_netsim::{FaultPlan, SimError};
 
 /// Runs the priority-greedy baseline with the given coflow order.
 pub fn run_greedy(instance: &Instance, order: Vec<usize>) -> ScheduleOutcome {
-    let m = instance.ports();
-    let mut remaining: Vec<IntMatrix> = instance.demand_matrices();
-    let mut remaining_total: Vec<u64> = remaining.iter().map(IntMatrix::total).collect();
-    let releases = instance.releases();
-    let mut completions: Vec<u64> = releases.clone();
-    let mut unfinished: usize = remaining_total.iter().filter(|&&t| t > 0).count();
-
-    let mut trace = ScheduleTrace::new(m);
-    let mut t: u64 = 0;
-    let mut src_used = vec![false; m];
-    let mut dst_used = vec![false; m];
-
-    while unfinished > 0 {
-        let slot = t + 1;
-        src_used.iter_mut().for_each(|b| *b = false);
-        dst_used.iter_mut().for_each(|b| *b = false);
-        let mut transfers: Vec<Transfer> = Vec::new();
-        let mut matched = 0usize;
-        for &k in &order {
-            if remaining_total[k] == 0 || releases[k] >= slot {
-                continue;
-            }
-            if matched == m {
-                break;
-            }
-            for (i, j, _) in remaining[k].nonzero_entries() {
-                if !src_used[i] && !dst_used[j] {
-                    src_used[i] = true;
-                    dst_used[j] = true;
-                    matched += 1;
-                    transfers.push(Transfer {
-                        src: i,
-                        dst: j,
-                        coflow: k,
-                        units: 1,
-                    });
-                }
-            }
-        }
-        // Apply the slot.
-        if transfers.is_empty() {
-            // Nothing servable: jump to the next release to avoid spinning.
-            let next_release = releases
-                .iter()
-                .enumerate()
-                .filter(|&(k, &r)| remaining_total[k] > 0 && r >= slot)
-                .map(|(_, &r)| r)
-                .min()
-                .unwrap_or_else(|| unreachable!("unfinished demand must have a future release"));
-            t = next_release;
-            continue;
-        }
-        for tr in &transfers {
-            remaining[tr.coflow][(tr.src, tr.dst)] -= 1;
-            remaining_total[tr.coflow] -= 1;
-            if remaining_total[tr.coflow] == 0 {
-                completions[tr.coflow] = slot;
-                unfinished -= 1;
-            }
-        }
-        trace.push_run(Run {
-            start: slot,
-            duration: 1,
-            transfers,
-        });
-        t = slot;
+    let mut policy = GreedyPolicy::new(instance, order);
+    match run_policy(instance, &mut policy) {
+        Ok(out) => out,
+        Err(e) => unreachable!("greedy policy is infallible: {}", e),
     }
+}
 
-    let objective = instance.objective(&completions);
-    ScheduleOutcome {
-        order,
-        completions,
-        objective,
-        trace,
-    }
+/// Runs the priority-greedy baseline under fault injection: the per-slot
+/// rescan replans from live (post-fault) remaining demand, so stranded
+/// units are re-served when a path reopens and cancellations simply leave
+/// the scan.
+pub fn run_greedy_with_faults(
+    instance: &Instance,
+    order: Vec<usize>,
+    plan: &FaultPlan,
+) -> Result<FaultyOutcome, SimError> {
+    let mut policy = GreedyPolicy::new(instance, order);
+    run_policy_with_faults(instance, &mut policy, plan).map_err(|e| e.into_sim())
 }
 
 #[cfg(test)]
@@ -96,6 +44,7 @@ mod tests {
     use super::*;
     use crate::coflow::Coflow;
     use crate::ordering::{compute_order, OrderRule};
+    use coflow_matching::IntMatrix;
     use coflow_netsim::validate_trace;
 
     #[test]

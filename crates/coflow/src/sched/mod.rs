@@ -1,14 +1,16 @@
 //! Schedulers: the paper's deterministic Algorithm 2, its randomized
 //! variant, and the §4 experiment grid (ordering × grouping × backfilling).
 //!
-//! All schedulers share one execution engine, `execute_batches`: the coflow
-//! order is partitioned into *batches* (singleton batches when grouping is
-//! off, interval groups when it is on); each batch waits for its members'
-//! release dates, aggregates their remaining demand, clears it with a
-//! Birkhoff–von Neumann schedule (Algorithm 1), and — when backfilling is
-//! enabled — donates unforced idle slots to later coflows on the same port
-//! pair.
+//! All schedulers share one execution engine ([`engine`]): the coflow order
+//! is partitioned into *batches* (singleton batches when grouping is off,
+//! interval groups when it is on); the [`engine::BvnBatchPolicy`] waits for
+//! each batch's member releases, aggregates their remaining demand, clears
+//! it with a Birkhoff–von Neumann schedule (Algorithm 1), and — when
+//! backfilling is enabled — donates unforced idle slots to later coflows on
+//! the same port pair. The entry points here are thin shims constructing
+//! the policy and handing it to [`engine::run_policy`].
 
+pub mod engine;
 pub mod greedy;
 pub mod online;
 pub mod optimal;
@@ -19,10 +21,9 @@ use crate::grouping::{group_by_doubling, group_by_grid};
 use crate::instance::Instance;
 use crate::intervals::GeometricGrid;
 use crate::ordering::{compute_order, OrderRule};
-use coflow_matching::{bvn_decompose, BvnDecomposition, IntMatrix};
-use coflow_netsim::{Fabric, ScheduleTrace};
+use coflow_netsim::ScheduleTrace;
+use engine::{run_policy, BvnBatchPolicy};
 use rand::Rng;
-use rayon::prelude::*;
 
 /// One cell of the §4 experiment grid.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -123,7 +124,7 @@ pub fn run_with_order_opts(
     } else {
         order.iter().map(|&k| vec![k]).collect()
     };
-    execute_batches(instance, order, &batches, opts)
+    execute_batches(instance, order, batches, opts)
 }
 
 /// [`run_with_order`] plus the *work-conserving rematch* extension: when a
@@ -166,7 +167,7 @@ pub fn run_with_order_grid(
     execute_batches(
         instance,
         order,
-        &batches,
+        batches,
         ExecOptions {
             backfill,
             ..ExecOptions::default()
@@ -193,7 +194,7 @@ pub fn run_randomized<R: Rng + ?Sized>(
     execute_batches(
         instance,
         order,
-        &batches,
+        batches,
         ExecOptions {
             backfill,
             ..ExecOptions::default()
@@ -201,313 +202,21 @@ pub fn run_randomized<R: Rng + ?Sized>(
     )
 }
 
-/// Shared execution engine. `batches` must partition `order` into
-/// consecutive runs (every scheduler above guarantees this).
+/// Shared execution shim. `batches` must partition `order` into
+/// consecutive runs (every scheduler above guarantees this). Constructs a
+/// [`BvnBatchPolicy`] and runs it on the clean engine; the `sched.execute`
+/// span is kept here so the obs stage taxonomy is unchanged.
 pub(crate) fn execute_batches(
     instance: &Instance,
     order: Vec<usize>,
-    batches: &[Vec<usize>],
+    batches: Vec<Vec<usize>>,
     opts: ExecOptions,
 ) -> ScheduleOutcome {
     let _span = obs::span("sched.execute");
-    let ExecOptions {
-        backfill,
-        rematch,
-        maxmin_decomposition,
-        sequential_decompose,
-    } = opts;
-    let n = instance.len();
-    let m = instance.ports();
-    let demands = instance.demand_matrices();
-    let releases = instance.releases();
-    let mut fabric = Fabric::new(instance.ports(), &demands, &releases);
-
-    // Position of each coflow in the global order.
-    let mut pos = vec![usize::MAX; n];
-    for (p, &k) in order.iter().enumerate() {
-        pos[k] = p;
-    }
-    debug_assert!(pos.iter().all(|&p| p != usize::MAX), "order must be a permutation");
-
-    // Per-pair coflow queues in global order: candidates for service on a
-    // pair, indexed by `i * m + j` and scanned front to back. `pair_head`
-    // remembers how far each queue's prefix of pair-finished coflows
-    // reaches — `remaining(k, i, j)` only ever decreases, so the trim is
-    // permanent and the skipped prefix can never become a candidate again.
-    let mut pair_queue: Vec<Vec<usize>> = vec![Vec::new(); m * m];
-    let mut pair_head: Vec<usize> = vec![0; m * m];
-    for &k in &order {
-        for (i, j, _) in instance.coflow(k).demand.nonzero_entries() {
-            pair_queue[i * m + j].push(k);
-        }
-    }
-
-    // Without backfilling or rematching, no coflow receives service before
-    // its own batch runs (the eligibility gate `pos[k] <= batch_end_pos`
-    // rejects members of later batches), so every batch's remaining demand
-    // at its turn equals its full demand. The per-batch aggregates — and
-    // hence the Birkhoff–von Neumann decompositions, by far the hottest
-    // per-batch work — are then independent of execution order and can be
-    // computed up front, fanned out over worker threads. Result order is
-    // deterministic: the parallel map preserves input order.
-    let parallel_decompose = !backfill && !rematch && !sequential_decompose;
-    let mut precomputed: Vec<Option<BvnDecomposition>> = if parallel_decompose {
-        let aggregates: Vec<Option<IntMatrix>> = batches
-            .iter()
-            .map(|batch| {
-                let mut agg = IntMatrix::zeros(m);
-                for &k in batch {
-                    for (i, j, v) in instance.coflow(k).demand.nonzero_entries() {
-                        agg[(i, j)] += v;
-                    }
-                }
-                if agg.is_zero() {
-                    None
-                } else {
-                    Some(agg)
-                }
-            })
-            .collect();
-        aggregates
-            .par_iter()
-            .map(|agg| {
-                agg.as_ref().map(|a| {
-                    if maxmin_decomposition {
-                        coflow_matching::bvn_decompose_maxmin(a)
-                    } else {
-                        bvn_decompose(a)
-                    }
-                })
-            })
-            .collect()
-    } else {
-        Vec::new()
-    };
-
-    // Reused across batches and chunks: the planned run (per-pair candidate
-    // lists), a spare-buffer pool for those lists, and the rematch port
-    // occupancy masks.
-    let mut pairs: Vec<(usize, usize, Vec<usize>)> = Vec::new();
-    let mut spare: Vec<Vec<usize>> = Vec::new();
-    let mut src_used = vec![false; m];
-    let mut dst_used = vec![false; m];
-
-    for (b_idx, batch) in batches.iter().enumerate() {
-        if batch.is_empty() {
-            continue;
-        }
-        // Algorithm 2: schedule the group only after all members' releases.
-        // Members with no remaining demand (zero-demand coflows, or demand
-        // already cleared by backfilling) cannot gate the group: they are
-        // complete regardless, and waiting for them could only delay others.
-        let batch_release = batch
-            .iter()
-            .filter(|&&k| fabric.remaining_total(k) > 0)
-            .map(|&k| instance.coflow(k).release)
-            .max();
-        let Some(batch_release) = batch_release else {
-            continue; // everything in this batch is already done
-        };
-        if batch_release > fabric.now() {
-            fabric.advance_to(batch_release);
-        }
-        let batch_end_pos = batch
-            .iter()
-            .map(|&k| pos[k])
-            .max()
-            .unwrap_or_else(|| unreachable!("batch checked non-empty above"));
-
-        let dec = if parallel_decompose {
-            match precomputed[b_idx].take() {
-                Some(dec) => dec,
-                // The precompute saw a zero aggregate, which (without
-                // backfill) also means `batch_release` above was `None`;
-                // this arm is unreachable but harmless.
-                None => continue,
-            }
-        } else {
-            // Aggregate the *remaining* demand of the batch (earlier
-            // backfilling may have partially cleared it).
-            let mut agg = IntMatrix::zeros(m);
-            for &k in batch {
-                for (i, j, _) in instance.coflow(k).demand.nonzero_entries() {
-                    agg[(i, j)] += fabric.remaining(k, i, j);
-                }
-            }
-            if agg.is_zero() {
-                continue;
-            }
-            if maxmin_decomposition {
-                coflow_matching::bvn_decompose_maxmin(&agg)
-            } else {
-                bvn_decompose(&agg)
-            }
-        };
-
-        // Order the decomposition's matchings so the group's coflows
-        // complete in priority order. Algorithm 1 admits any slot order (the
-        // group still clears in exactly ρ slots, so Lemma 4 and Proposition 1
-        // are untouched), but applying, for each group coflow in order, the
-        // slots that still serve it lets that coflow finish as early as the
-        // decomposition allows instead of at the group's end. Leftover slots
-        // (serving only backfill demand) run last.
-        let mut slot_sequence: Vec<usize> = Vec::with_capacity(dec.slots.len());
-        {
-            let mut pending: Vec<usize> = (0..dec.slots.len()).collect();
-            let mut rem: Vec<IntMatrix> = batch
-                .iter()
-                .map(|&k| {
-                    let mut r = IntMatrix::zeros(instance.ports());
-                    for (i, j, _) in instance.coflow(k).demand.nonzero_entries() {
-                        r[(i, j)] = fabric.remaining(k, i, j);
-                    }
-                    r
-                })
-                .collect();
-            for (b_idx, _k) in batch.iter().enumerate() {
-                while !rem[b_idx].is_zero() {
-                    // First pending slot that serves this coflow: within a
-                    // group, pairs serve members in order, so any slot
-                    // covering a pair with remaining demand serves it.
-                    let found = pending.iter().position(|&s| {
-                        dec.slots[s]
-                            .perm
-                            .pairs()
-                            .any(|(i, j)| rem[b_idx][(i, j)] > 0)
-                    });
-                    let Some(p_idx) = found else {
-                        unreachable!("BvN coverage must clear every group coflow")
-                    };
-                    let s = pending.remove(p_idx);
-                    let q = dec.slots[s].count;
-                    // Account the service this slot gives each group member
-                    // (pairs serve members in order).
-                    for (i, j) in dec.slots[s].perm.pairs() {
-                        let mut budget = q;
-                        for r in rem.iter_mut() {
-                            if budget == 0 {
-                                break;
-                            }
-                            let take = r[(i, j)].min(budget);
-                            r[(i, j)] -= take;
-                            budget -= take;
-                        }
-                    }
-                    slot_sequence.push(s);
-                }
-            }
-            slot_sequence.extend(pending);
-        }
-
-        // With rematching, long runs are split into short chunks so freshly
-        // drained pairs are re-matched promptly; chunking only re-plans the
-        // same matching, so the paper-mode schedule is untouched.
-        const REMATCH_CHUNK: u64 = 4;
-        let chunked: Vec<(usize, u64)> = slot_sequence
-            .into_iter()
-            .flat_map(|slot_idx| {
-                let q = dec.slots[slot_idx].count;
-                if rematch && q > REMATCH_CHUNK {
-                    let chunks = q.div_ceil(REMATCH_CHUNK);
-                    (0..chunks)
-                        .map(|c| {
-                            let len = REMATCH_CHUNK.min(q - c * REMATCH_CHUNK);
-                            (slot_idx, len)
-                        })
-                        .collect::<Vec<_>>()
-                } else {
-                    vec![(slot_idx, q)]
-                }
-            })
-            .collect();
-
-        obs::counter_add("coflow.sched.batches", 1);
-        let _sim_span = obs::span("sched.simulate");
-        for (slot_idx, chunk_len) in chunked {
-            let slot = &dec.slots[slot_idx];
-            let now = fabric.now();
-            let eligible = |k: usize| {
-                instance.coflow(k).release <= now && (pos[k] <= batch_end_pos || backfill)
-            };
-            // Recycle the previous chunk's candidate buffers instead of
-            // reallocating one per pair per chunk.
-            for (_, _, mut buf) in pairs.drain(..) {
-                buf.clear();
-                spare.push(buf);
-            }
-            if rematch {
-                src_used.fill(false);
-                dst_used.fill(false);
-            }
-            for (i, j) in slot.perm.pairs() {
-                let head = &mut pair_head[i * m + j];
-                let queue = &pair_queue[i * m + j];
-                while *head < queue.len() && fabric.remaining(queue[*head], i, j) == 0 {
-                    *head += 1;
-                }
-                if *head == queue.len() {
-                    continue;
-                }
-                let mut candidates = spare.pop().unwrap_or_default();
-                candidates.extend(
-                    queue[*head..]
-                        .iter()
-                        .copied()
-                        .filter(|&k| eligible(k) && fabric.remaining(k, i, j) > 0),
-                );
-                if candidates.is_empty() {
-                    spare.push(candidates);
-                } else {
-                    if rematch {
-                        src_used[i] = true;
-                        dst_used[j] = true;
-                    }
-                    pairs.push((i, j, candidates));
-                }
-            }
-            if rematch {
-                // Work-conserving extension: ports whose matched pair has
-                // nothing to send are re-matched to pending demand, scanning
-                // coflows in priority order.
-                for &k in &order {
-                    if !eligible(k) || fabric.remaining_total(k) == 0 {
-                        continue;
-                    }
-                    for (i, j, _) in instance.coflow(k).demand.nonzero_entries() {
-                        if !src_used[i] && !dst_used[j] && fabric.remaining(k, i, j) > 0 {
-                            src_used[i] = true;
-                            dst_used[j] = true;
-                            let mut candidates = spare.pop().unwrap_or_default();
-                            candidates.extend(
-                                pair_queue[i * m + j]
-                                    .iter()
-                                    .copied()
-                                    .filter(|&c| eligible(c) && fabric.remaining(c, i, j) > 0),
-                            );
-                            pairs.push((i, j, candidates));
-                        }
-                    }
-                }
-            }
-            if pairs.is_empty() {
-                fabric.advance_to(now + chunk_len);
-            } else {
-                fabric.apply_run(&pairs, chunk_len);
-            }
-        }
-    }
-
-    assert!(
-        fabric.all_done(),
-        "batch execution must deliver all demand (scheduler bug)"
-    );
-    let (trace, completions) = fabric.finish();
-    let objective = instance.objective(&completions);
-    ScheduleOutcome {
-        order,
-        completions,
-        objective,
-        trace,
+    let mut policy = BvnBatchPolicy::new(instance, order, batches, opts);
+    match run_policy(instance, &mut policy) {
+        Ok(out) => out,
+        Err(e) => unreachable!("batch policy is infallible: {}", e),
     }
 }
 
@@ -515,6 +224,7 @@ pub(crate) fn execute_batches(
 mod tests {
     use super::*;
     use crate::coflow::Coflow;
+    use coflow_matching::IntMatrix;
     use coflow_netsim::validate_trace;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -6,116 +6,59 @@
 //! online heuristic the paper's framework suggests: maintain a priority
 //! order over *released, unfinished* coflows by the Smith-style ratio
 //! `ρ(remaining demand) / weight` — the online analogue of `H_ρ` — and
-//! re-sort whenever a coflow arrives; every slot, serve a greedy matching
-//! in priority order (work conserving, like the backfilled schedules).
+//! re-sort whenever the order can change; every slot, serve a greedy
+//! matching in priority order (work conserving, like the backfilled
+//! schedules).
 //!
 //! The scheduler never looks at coflows before their release dates, so its
-//! decisions are legitimately online.
+//! decisions are legitimately online. The implementation lives in
+//! [`engine::OnlineRhoPolicy`]; these entry points are shims over the
+//! engine, which also makes the online scheduler composable with fault
+//! injection ([`run_online_with_faults`]).
 
 use crate::instance::Instance;
+use crate::sched::engine::{
+    run_policy, run_policy_with_faults, OnlineOptions, OnlineRhoPolicy,
+};
+use crate::sched::recovery::FaultyOutcome;
 use crate::sched::ScheduleOutcome;
-use coflow_matching::IntMatrix;
-use coflow_netsim::{Run, ScheduleTrace, Transfer};
+use coflow_netsim::{FaultPlan, SimError};
 
-/// Runs the online ρ/w-priority scheduler.
+/// Runs the online ρ/w-priority scheduler with default options
+/// (priorities re-sorted at completion epochs as well as arrivals; use
+/// [`OnlineOptions::legacy`] via [`run_online_opts`] for the historical
+/// arrival-only behavior).
 pub fn run_online(instance: &Instance) -> ScheduleOutcome {
-    let n = instance.len();
-    let m = instance.ports();
-    let mut remaining: Vec<IntMatrix> = instance.demand_matrices();
-    let mut remaining_total: Vec<u64> = remaining.iter().map(IntMatrix::total).collect();
-    let releases = instance.releases();
-    let weights = instance.weights();
-    let mut completions: Vec<u64> = releases.clone();
-    let mut unfinished: usize = remaining_total.iter().filter(|&&t| t > 0).count();
+    run_online_opts(instance, OnlineOptions::default())
+}
 
-    // Arrival events in time order.
-    let mut events: Vec<(u64, usize)> = releases.iter().copied().zip(0..n).collect();
-    events.sort_unstable();
-    let mut next_event = 0usize;
-
-    let mut active: Vec<usize> = Vec::new();
-    let mut trace = ScheduleTrace::new(m);
-    let mut t: u64 = 0;
-    let mut src_used = vec![false; m];
-    let mut dst_used = vec![false; m];
-
-    while unfinished > 0 {
-        // Admit arrivals with release <= t (servable from slot t+1 on) and
-        // re-sort the priority order by remaining-rho / weight.
-        let mut admitted = false;
-        while next_event < events.len() && events[next_event].0 <= t {
-            let k = events[next_event].1;
-            next_event += 1;
-            if remaining_total[k] > 0 {
-                active.push(k);
-                admitted = true;
-            }
-        }
-        if admitted {
-            active.sort_by(|&a, &b| {
-                let ka = remaining[a].load() as f64 / weights[a];
-                let kb = remaining[b].load() as f64 / weights[b];
-                ka.total_cmp(&kb).then(a.cmp(&b))
-            });
-        }
-        if active.is_empty() {
-            // Idle until the next arrival.
-            t = events[next_event].0;
-            continue;
-        }
-
-        let slot = t + 1;
-        src_used.iter_mut().for_each(|b| *b = false);
-        dst_used.iter_mut().for_each(|b| *b = false);
-        let mut transfers: Vec<Transfer> = Vec::new();
-        for &k in &active {
-            for (i, j, _) in remaining[k].nonzero_entries() {
-                if !src_used[i] && !dst_used[j] {
-                    src_used[i] = true;
-                    dst_used[j] = true;
-                    transfers.push(Transfer {
-                        src: i,
-                        dst: j,
-                        coflow: k,
-                        units: 1,
-                    });
-                }
-            }
-        }
-        debug_assert!(!transfers.is_empty(), "active coflows must be servable");
-        for tr in &transfers {
-            remaining[tr.coflow][(tr.src, tr.dst)] -= 1;
-            remaining_total[tr.coflow] -= 1;
-            if remaining_total[tr.coflow] == 0 {
-                completions[tr.coflow] = slot;
-                unfinished -= 1;
-            }
-        }
-        trace.push_run(Run {
-            start: slot,
-            duration: 1,
-            transfers,
-        });
-        active.retain(|&k| remaining_total[k] > 0);
-        t = slot;
+/// Runs the online ρ/w-priority scheduler with explicit options.
+pub fn run_online_opts(instance: &Instance, opts: OnlineOptions) -> ScheduleOutcome {
+    let mut policy = OnlineRhoPolicy::new(instance, opts);
+    match run_policy(instance, &mut policy) {
+        Ok(out) => out,
+        Err(e) => unreachable!("online policy is infallible: {}", e),
     }
+}
 
-    let objective = instance.objective(&completions);
-    // The "order" of an online run is the completion order.
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by_key(|&k| (completions[k], k));
-    ScheduleOutcome {
-        order,
-        completions,
-        objective,
-        trace,
-    }
+/// Runs the online scheduler under fault injection: the policy replans
+/// from live (post-fault) remaining demand every slot, so no separate
+/// recovery logic is needed — blocked units strand and are re-served when
+/// a path reopens, and cancellations drop out of the active set.
+pub fn run_online_with_faults(
+    instance: &Instance,
+    opts: OnlineOptions,
+    plan: &FaultPlan,
+) -> Result<FaultyOutcome, SimError> {
+    let mut policy = OnlineRhoPolicy::new(instance, opts);
+    run_policy_with_faults(instance, &mut policy, plan).map_err(|e| e.into_sim())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::coflow::Coflow;
+    use coflow_matching::IntMatrix;
     use coflow_netsim::validate_trace;
 
     fn validate(inst: &Instance, out: &ScheduleOutcome) {
@@ -168,5 +111,35 @@ mod tests {
         let out = run_online(&inst);
         validate(&inst, &out);
         assert_eq!(out.completions, vec![6]);
+    }
+
+    #[test]
+    fn completion_resort_fixes_stale_priorities() {
+        // X hogs pair (0,0) for 8 slots (ratio 1, always head). U (ratio 2)
+        // wants only (0,0): fully blocked behind X. S (initial ratio 6)
+        // drains its bottleneck (1,1) in slots 1-6, leaving one unit on
+        // (0,0) and a *remaining* ratio of 1 — but the legacy scheduler
+        // never re-ranks it because no coflow arrives. When X completes at
+        // slot 8, legacy hands (0,0) to U (stale order U < S) while the
+        // completion re-sort correctly hands it to S, whose remaining
+        // ratio 1 now beats U's 2.
+        let x = Coflow::new(0, IntMatrix::from_nested(&[[8, 0], [0, 0]])).with_weight(8.0);
+        let u = Coflow::new(1, IntMatrix::from_nested(&[[3, 0], [0, 0]])).with_weight(1.5);
+        let s = Coflow::new(2, IntMatrix::from_nested(&[[1, 0], [0, 6]]));
+        let inst = Instance::new(2, vec![x, u, s]);
+        let legacy = run_online_opts(&inst, OnlineOptions::legacy());
+        let fixed = run_online_opts(&inst, OnlineOptions::default());
+        validate(&inst, &legacy);
+        validate(&inst, &fixed);
+        // Legacy: U gets slots 9-11, S's last unit waits until 12.
+        assert_eq!(legacy.completions, vec![8, 11, 12]);
+        // Fixed: S's single remaining unit goes first (ratio 1 < 2), then U.
+        assert_eq!(fixed.completions, vec![8, 12, 9]);
+        assert!(
+            fixed.objective < legacy.objective,
+            "completion re-sort must win on this instance: {} vs {}",
+            fixed.objective,
+            legacy.objective
+        );
     }
 }

@@ -9,13 +9,20 @@
 //! plan was invalidated — replanned from the failure slot. Because every
 //! fault window is finite, the final epoch runs fault-free, so all
 //! surviving (non-cancelled) demand is guaranteed to complete.
+//!
+//! The epoch loop itself lives in the engine
+//! ([`super::engine::run_policy_with_faults`] driving a
+//! [`super::engine::ResilientPolicy`]); [`run_with_faults`] is a shim, and
+//! the same loop also hosts the online/greedy policies
+//! ([`super::online::run_online_with_faults`],
+//! [`super::greedy::run_greedy_with_faults`]) with uniformly populated
+//! [`FaultyOutcome::replans`]/[`FaultyOutcome::tiers`].
 
-use super::resilient::run_resilient;
+use super::engine::{run_policy_with_faults, ResilientPolicy};
 use super::AlgorithmSpec;
-use crate::coflow::Coflow;
 use crate::instance::Instance;
 use coflow_lp::SimplexOptions;
-use coflow_netsim::{BlockedSlot, FaultPlan, FaultSim, ScheduleTrace, SimError};
+use coflow_netsim::{BlockedSlot, FaultPlan, ScheduleTrace, SimError};
 
 /// The result of executing an instance to quiescence under a fault plan.
 #[derive(Clone, Debug)]
@@ -58,79 +65,8 @@ pub fn run_with_faults(
     lp_opts: &SimplexOptions,
     plan: &FaultPlan,
 ) -> Result<FaultyOutcome, SimError> {
-    let m = instance.ports();
-    let mut sim = FaultSim::new(
-        m,
-        &instance.demand_matrices(),
-        &instance.releases(),
-        plan.clone(),
-    );
-    let boundaries = plan.boundaries();
-    let mut replans = 0usize;
-    let mut tiers = Vec::new();
-
-    while !sim.all_settled() {
-        let now = sim.now();
-        // Residual instance: live coflows with their remaining demand,
-        // released no earlier than the current slot so the planned trace
-        // lands strictly in the future. Coflow ids are preserved so H_A
-        // stays the trace arrival order across replans.
-        let mut residual_to_orig = Vec::new();
-        let mut residual = Vec::new();
-        for k in 0..instance.len() {
-            if sim.is_cancelled(k) || sim.remaining_total(k) == 0 {
-                continue;
-            }
-            let c = instance.coflow(k);
-            residual_to_orig.push(k);
-            residual.push(
-                Coflow::new(c.id, sim.remaining_matrix(k).clone())
-                    .with_weight(c.weight)
-                    .with_release(c.release.max(now)),
-            );
-        }
-        if residual.is_empty() {
-            // Nothing left to serve, but some coflow is still pending a
-            // future cancellation — step the clock to settle it.
-            sim.advance_to(now + 1);
-            continue;
-        }
-        let residual_instance = Instance::new(m, residual);
-        let planned = run_resilient(&residual_instance, spec, lp_opts);
-        replans += 1;
-        obs::counter_add("coflow.recovery.epochs", 1);
-        tiers.push(planned.tier);
-
-        // The planner numbers coflows by residual index; map back.
-        let mut trace = planned.outcome.trace;
-        for run in &mut trace.runs {
-            for t in &mut run.transfers {
-                t.coflow = residual_to_orig[t.coflow];
-            }
-        }
-
-        // Execute until the fault state next changes (needing ≥ 1 slot of
-        // progress), or to the end of the plan when it never does again.
-        let stop = boundaries.iter().copied().find(|&b| b > now + 1);
-        sim.execute_trace(&trace, stop)?;
-    }
-
-    let blocked = sim.blocked_log().to_vec();
-    let (executed, completions, blocked_units) = sim.finish();
-    let objective = completions
-        .iter()
-        .zip(instance.coflows())
-        .filter_map(|(c, cf)| c.map(|t| cf.weight * t as f64))
-        .sum();
-    Ok(FaultyOutcome {
-        completions,
-        executed,
-        objective,
-        replans,
-        tiers,
-        blocked_units,
-        blocked,
-    })
+    let mut policy = ResilientPolicy::new(*spec, lp_opts.clone());
+    run_policy_with_faults(instance, &mut policy, plan).map_err(|e| e.into_sim())
 }
 
 /// [`run_with_faults`] that panics on structural violations — convenient
@@ -232,6 +168,7 @@ pub fn verify_faulty_outcome(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::coflow::Coflow;
     use crate::ordering::OrderRule;
     use coflow_matching::IntMatrix;
     use coflow_netsim::FaultEvent;

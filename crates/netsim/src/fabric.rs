@@ -31,8 +31,14 @@ pub struct Fabric {
     completion: Vec<Option<u64>>,
     /// Last slot in which each coflow moved a unit (0 if never).
     last_activity: Vec<u64>,
+    /// Count of coflows not yet complete, kept in sync with `completion`
+    /// so `all_done` is O(1) on the engine's per-decision check.
+    unfinished: usize,
     now: u64,
     trace: ScheduleTrace,
+    /// Scratch port-occupancy masks reused across `apply_run` calls.
+    src_used: Vec<bool>,
+    dst_used: Vec<bool>,
 }
 
 impl Fabric {
@@ -44,11 +50,12 @@ impl Fabric {
             assert_eq!(d.dim(), m, "demand matrix dimension mismatch");
         }
         let remaining_total: Vec<u64> = demands.iter().map(IntMatrix::total).collect();
-        let completion = remaining_total
+        let completion: Vec<Option<u64>> = remaining_total
             .iter()
             .zip(releases)
             .map(|(&tot, &r)| if tot == 0 { Some(r) } else { None })
             .collect();
+        let unfinished = completion.iter().filter(|c| c.is_none()).count();
         Fabric {
             m,
             last_activity: vec![0; demands.len()],
@@ -56,8 +63,11 @@ impl Fabric {
             remaining_total,
             releases: releases.to_vec(),
             completion,
+            unfinished,
             now: 0,
             trace: ScheduleTrace::new(m),
+            src_used: vec![false; m],
+            dst_used: vec![false; m],
         }
     }
 
@@ -76,6 +86,11 @@ impl Fabric {
         self.remaining[k][(i, j)]
     }
 
+    /// Remaining demand matrix of coflow `k`.
+    pub fn remaining_matrix(&self, k: usize) -> &IntMatrix {
+        &self.remaining[k]
+    }
+
     /// Remaining total units of coflow `k`.
     pub fn remaining_total(&self, k: usize) -> u64 {
         self.remaining_total[k]
@@ -83,7 +98,7 @@ impl Fabric {
 
     /// True when all coflows have completed.
     pub fn all_done(&self) -> bool {
-        self.completion.iter().all(Option::is_some)
+        self.unfinished == 0
     }
 
     /// Completion slots (`None` for unfinished coflows).
@@ -107,8 +122,8 @@ impl Fabric {
     /// been released (`r_k ≤ now`).
     pub fn apply_run(&mut self, pairs: &[(usize, usize, Vec<usize>)], duration: u64) {
         assert!(duration > 0, "runs must last at least one slot");
-        let mut src_used = vec![false; self.m];
-        let mut dst_used = vec![false; self.m];
+        self.src_used.fill(false);
+        self.dst_used.fill(false);
         let start = self.now + 1;
         let mut run = Run {
             start,
@@ -117,11 +132,11 @@ impl Fabric {
         };
         for (i, j, prio) in pairs {
             assert!(
-                !src_used[*i] && !dst_used[*j],
+                !self.src_used[*i] && !self.dst_used[*j],
                 "matching constraint violated: port reused within a run"
             );
-            src_used[*i] = true;
-            dst_used[*j] = true;
+            self.src_used[*i] = true;
+            self.dst_used[*j] = true;
             let mut budget = duration;
             let mut used: u64 = 0;
             for &k in prio {
@@ -156,6 +171,7 @@ impl Fabric {
                 if self.remaining_total[k] == 0 {
                     let prev = self.completion[k].replace(self.last_activity[k]);
                     debug_assert!(prev.is_none(), "coflow completed twice");
+                    self.unfinished -= 1;
                 }
             }
         }

@@ -6,13 +6,26 @@
 # run afterwards with CRITERION_JSON so their samples land next to the
 # grid report for forensics; they inform but do not gate.
 #
+# The pin gate runs first: the scheduling engine promised bit-identical
+# output for every legacy loop it replaced, so the 12-cell grid, the
+# online scheduler (fixed and stale priorities), the greedy baseline, and
+# the fault-injected combinations are recomputed and compared against the
+# committed BENCH_pins.json on their f64 bit patterns. The same run times
+# the engine-driven section (the paths the old hand loops served) and
+# fails when it is slower than baseline by more than PIN_TOLERANCE
+# (default +100%, floored at 50 ms — it is a short section).
+#
 # Usage:
 #   scripts/check-perf.sh                 # gate at the default +20%
 #   scripts/check-perf.sh --tolerance 0.5 # looser gate for shared CI boxes
+#   PIN_TOLERANCE=2.0 scripts/check-perf.sh  # looser engine-overhead gate
 set -eu
 cd "$(dirname "$0")/.."
 
 OUT="${PERF_OUT:-BENCH_grid.json}"
+
+cargo run --release -q -p coflow-bench --bin experiments -- \
+    pin --check BENCH_pins.json --tolerance "${PIN_TOLERANCE:-1.0}"
 
 cargo run --release -q -p coflow-bench --bin experiments -- \
     profile --out "$OUT" --baseline BENCH_baseline.json "$@"

@@ -3,10 +3,15 @@
 //! ```text
 //! coflow-cli <trace.{json,csv}> [--ports N] [--order H_A|H_rho|H_LP|H_size]
 //!            [--no-group] [--no-backfill] [--rematch] [--online]
-//!            [--analyze] [--explain] [--emit-json] [--profile]
-//!            [--trace-out PATH]
+//!            [--online-stale] [--greedy] [--analyze] [--explain]
+//!            [--emit-json] [--profile] [--trace-out PATH]
 //! coflow-cli --generate <n> [--ports N] [--seed S]   # print a trace as CSV
 //! ```
+//!
+//! `--online` runs the ρ/w-priority online scheduler (priorities re-sorted
+//! on arrivals *and* completions); `--online-stale` keeps the legacy
+//! arrival-only re-sort for comparison. `--greedy` runs the work-conserving
+//! priority-greedy baseline with the `--order` permutation.
 //!
 //! `--profile` enables the `obs` registry and prints the span/counter
 //! summary tree to stderr after scheduling; `--trace-out PATH` additionally
@@ -22,9 +27,9 @@
 
 use coflow::analysis::analyze;
 use coflow::ordering::OrderRule;
-use coflow::sched::online::run_online;
+use coflow::sched::online::run_online_opts;
 use coflow::sched::{run_with_order_ext, ScheduleOutcome};
-use coflow::{compute_order, verify_outcome, Instance};
+use coflow::{compute_order, run_greedy, verify_outcome, Instance, OnlineOptions};
 use coflow_workloads::{generate_trace, io, TraceConfig};
 use std::process::exit;
 
@@ -36,6 +41,8 @@ struct Args {
     backfill: bool,
     rematch: bool,
     online: bool,
+    online_stale: bool,
+    greedy: bool,
     do_analyze: bool,
     do_explain: bool,
     emit_json: bool,
@@ -49,8 +56,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: coflow-cli <trace.json|trace.csv> [--ports N] \
          [--order H_A|H_rho|H_LP|H_size] [--no-group] [--no-backfill] \
-         [--rematch] [--online] [--analyze] [--explain] [--emit-json] \
-         [--profile] [--trace-out PATH]\n\
+         [--rematch] [--online] [--online-stale] [--greedy] [--analyze] \
+         [--explain] [--emit-json] [--profile] [--trace-out PATH]\n\
          \x20      coflow-cli --generate <n> [--ports N] [--seed S]"
     );
     exit(2)
@@ -65,6 +72,8 @@ fn parse_args() -> Args {
         backfill: true,
         rematch: false,
         online: false,
+        online_stale: false,
+        greedy: false,
         do_analyze: false,
         do_explain: false,
         emit_json: false,
@@ -95,6 +104,8 @@ fn parse_args() -> Args {
             "--no-backfill" => args.backfill = false,
             "--rematch" => args.rematch = true,
             "--online" => args.online = true,
+            "--online-stale" => args.online_stale = true,
+            "--greedy" => args.greedy = true,
             "--analyze" => args.do_analyze = true,
             "--explain" => args.do_explain = true,
             "--emit-json" => args.emit_json = true,
@@ -181,8 +192,15 @@ fn main() {
     if args.profile {
         obs::set_enabled(true);
     }
-    let outcome: ScheduleOutcome = if args.online {
-        run_online(&instance)
+    let outcome: ScheduleOutcome = if args.online || args.online_stale {
+        let opts = if args.online_stale {
+            OnlineOptions::legacy()
+        } else {
+            OnlineOptions::default()
+        };
+        run_online_opts(&instance, opts)
+    } else if args.greedy {
+        run_greedy(&instance, compute_order(&instance, args.order))
     } else {
         let order = compute_order(&instance, args.order);
         run_with_order_ext(&instance, order, args.grouping, args.backfill, args.rematch)
