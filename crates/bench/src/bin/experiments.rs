@@ -8,6 +8,8 @@
 //!                     [--faults RATE] [--severity LEVEL]
 //!                     [--expect-starvation] [--validate PATH] [--seed N]
 //! experiments pin [--out PATH] [--check PATH] [--tolerance F] [--seed N]
+//! experiments chaos [--kills N] [--windows N] [--faults RATE]
+//!                   [--out PATH] [--validate PATH] [--seed N]
 //! ```
 //!
 //! `profile` runs the 12-cell grid with the `obs` registry enabled and
@@ -26,6 +28,21 @@
 //! `scripts/check-explain.sh`); `--faults RATE` adds a fault-injected
 //! section; `--svg` writes the attribution cell's port-utilization
 //! heatmap; `--trace` writes the chrome trace (spans + anomaly instants).
+//!
+//! `chaos` runs the crash-safety harness on the 60-port cell: every engine
+//! policy is killed at randomized decision epochs, checkpointed to a
+//! `coflow-snapshot/1` document, restored from the re-parsed document, and
+//! required to finish **bit-identically** to an uninterrupted run, with
+//! demand-conservation and monotone-progress invariants checked at every
+//! kill. `--windows N` adds the adversarial worst-window search (targeted
+//! outages vs matched-budget random plans); `--validate PATH` checks an
+//! existing `coflow-chaos/1` report instead of running (used by
+//! `scripts/check-chaos.sh`). The report lands at `--out` (default
+//! `BENCH_chaos.json`).
+//!
+//! All subcommands install a SIGINT handler: an interrupt finishes the
+//! current unit of work, writes whatever partial report exists via the
+//! shared atomic write-then-rename sink, and exits 130.
 //!
 //! `pin` recomputes the engine's pinned objectives — the 12-cell grid, the
 //! online scheduler (fixed and stale priorities), the greedy baseline, and
@@ -94,6 +111,27 @@ impl Default for PinArgs {
     }
 }
 
+/// Options of the `chaos` subcommand.
+struct ChaosArgs {
+    out: String,
+    kills: usize,
+    windows: usize,
+    fault_rate: f64,
+    validate: Option<String>,
+}
+
+impl Default for ChaosArgs {
+    fn default() -> Self {
+        ChaosArgs {
+            out: "BENCH_chaos.json".to_string(),
+            kills: 4,
+            windows: 0,
+            fault_rate: 0.3,
+            validate: None,
+        }
+    }
+}
+
 /// Options of the `explain` subcommand.
 struct ExplainArgs {
     out: String,
@@ -120,12 +158,14 @@ impl Default for ExplainArgs {
 }
 
 fn main() {
+    obs::install_sigint_handler();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_string();
     let mut seed: u64 = 2015;
     let mut profile_args = ProfileArgs::default();
     let mut explain_args = ExplainArgs::default();
     let mut pin_args = PinArgs::default();
+    let mut chaos_args = ChaosArgs::default();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         let mut value_of = |flag: &str| -> String {
@@ -152,7 +192,28 @@ fn main() {
                 let value = value_of("--out");
                 profile_args.out = value.clone();
                 explain_args.out = value.clone();
+                chaos_args.out = value.clone();
                 pin_args.out = Some(value);
+            }
+            "--kills" => {
+                let value = value_of("--kills");
+                chaos_args.kills = match value.parse() {
+                    Ok(k) => k,
+                    Err(_) => {
+                        eprintln!("error: --kills must be an integer, got '{}'", value);
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--windows" => {
+                let value = value_of("--windows");
+                chaos_args.windows = match value.parse() {
+                    Ok(w) => w,
+                    Err(_) => {
+                        eprintln!("error: --windows must be an integer, got '{}'", value);
+                        std::process::exit(2);
+                    }
+                };
             }
             "--trace" => {
                 let value = value_of("--trace");
@@ -170,6 +231,9 @@ fn main() {
                         std::process::exit(2);
                     }
                 };
+                if let Some(r) = explain_args.faults {
+                    chaos_args.fault_rate = r;
+                }
             }
             "--severity" => {
                 let value = value_of("--severity");
@@ -185,7 +249,11 @@ fn main() {
                 };
             }
             "--expect-starvation" => explain_args.expect_starvation = true,
-            "--validate" => explain_args.validate = Some(value_of("--validate")),
+            "--validate" => {
+                let value = value_of("--validate");
+                explain_args.validate = Some(value.clone());
+                chaos_args.validate = Some(value);
+            }
             "--check" => pin_args.check = Some(value_of("--check")),
             "--tolerance" => {
                 let value = value_of("--tolerance");
@@ -218,6 +286,7 @@ fn main() {
         "profile" => profile(seed, &profile_args),
         "explain" => explain(seed, &explain_args),
         "pin" => pin(seed, &pin_args),
+        "chaos" => chaos(seed, &chaos_args),
         "all" => {
             table1(seed);
             fig2a(seed);
@@ -231,10 +300,116 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{}'; expected table1|fig2a|fig2b|lpexp|ratios|gridsweep|integrality|arrivals|faults|profile|explain|pin|all",
+                "unknown experiment '{}'; expected table1|fig2a|fig2b|lpexp|ratios|gridsweep|integrality|arrivals|faults|profile|explain|pin|chaos|all",
                 other
             );
             std::process::exit(2);
+        }
+    }
+}
+
+/// Writes a report via the shared atomic write-then-rename sink; a
+/// concurrent reader (or a SIGINT mid-write) never sees a torn file.
+fn write_report(path: &str, contents: &str) {
+    if let Err(e) = obs::atomic_write(path, contents) {
+        eprintln!("error: writing {}: {}", path, e);
+        std::process::exit(1);
+    }
+}
+
+/// Exits 130 (the conventional SIGINT code) if an interrupt arrived,
+/// after the caller has flushed its partial report.
+fn exit_if_interrupted(partial: &str) {
+    if obs::interrupted() {
+        eprintln!("interrupted: partial {} written; exiting", partial);
+        std::process::exit(obs::SIGINT_EXIT_CODE);
+    }
+}
+
+/// Reads a committed baseline-style file, failing with the file name and
+/// the exact command that regenerates it when the file is missing, empty,
+/// or truncated.
+fn read_baseline_file(path: &str, what: &str, regen: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(s) if s.trim_start().starts_with('{') && s.trim_end().ends_with('}') => s,
+        Ok(_) => {
+            eprintln!(
+                "error: {} '{}' is empty or truncated (not a complete JSON document).\n\
+                 Regenerate it with:\n    {}",
+                what, path, regen
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!(
+                "error: cannot read {} '{}': {}.\n\
+                 Regenerate it with:\n    {}",
+                what, path, e, regen
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+fn chaos(seed: u64, args: &ChaosArgs) {
+    use coflow_bench::chaos::{
+        render_chaos, render_chaos_json, run_chaos, validate_chaos_json, worst_window_search,
+        ChaosConfig, ChaosReport,
+    };
+
+    // Validation-only mode: check an existing report and exit.
+    if let Some(path) = &args.validate {
+        let regen = format!(
+            "cargo run --release -p coflow-bench --bin experiments -- chaos --out {}",
+            path
+        );
+        let text = read_baseline_file(path, "chaos report", &regen);
+        match validate_chaos_json(&text) {
+            Ok(summary) => {
+                println!("{}: {}", path, summary);
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {}: {}", path, e);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let cfg = paper_scale_config(seed);
+    trace_banner(&cfg);
+    let inst = assign_weights(
+        &generate_trace(&cfg),
+        WeightScheme::RandomPermutation { seed },
+    );
+    let config = ChaosConfig {
+        kills: args.kills,
+        seed,
+        fault_rate: args.fault_rate,
+    };
+    let mut report = run_chaos(&inst, &config);
+    if obs::interrupted() {
+        write_report(&args.out, &render_chaos_json(&report));
+        exit_if_interrupted(&args.out);
+    }
+    if args.windows > 0 {
+        let windows = worst_window_search(&inst, 2, 8, args.windows, seed);
+        report = ChaosReport {
+            windows: Some(windows),
+            ..report
+        };
+    }
+    print!("{}", render_chaos(&report));
+    let rendered = render_chaos_json(&report);
+    write_report(&args.out, &rendered);
+    println!("# chaos report written to {}", args.out);
+    exit_if_interrupted(&args.out);
+    // Close the loop: the report must satisfy its own validator.
+    match validate_chaos_json(&rendered) {
+        Ok(summary) => println!("# {}", summary),
+        Err(e) => {
+            eprintln!("error: fresh chaos report failed validation: {}", e);
+            std::process::exit(1);
         }
     }
 }
@@ -284,24 +459,19 @@ fn profile(seed: u64, args: &ProfileArgs) {
     }
 
     let rendered = render_json(&report);
-    if let Err(e) = std::fs::write(&args.out, &rendered) {
-        eprintln!("error: writing {}: {}", args.out, e);
-        std::process::exit(1);
-    }
+    write_report(&args.out, &rendered);
     println!("# per-stage report written to {}", args.out);
 
     if let Some(baseline_path) = &args.baseline {
-        let baseline = match std::fs::read_to_string(baseline_path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: reading baseline {}: {}", baseline_path, e);
-                std::process::exit(1);
-            }
-        };
+        let regen = "scripts/bench-baseline.sh --update".to_string();
+        let baseline = read_baseline_file(baseline_path, "profile baseline", &regen);
         let deltas = match compare_reports(&baseline, &rendered, args.tolerance) {
             Ok(d) => d,
             Err(e) => {
-                eprintln!("error: comparing against baseline: {}", e);
+                eprintln!(
+                    "error: comparing against baseline {}: {}.\nRegenerate it with:\n    {}",
+                    baseline_path, e, regen
+                );
                 std::process::exit(1);
             }
         };
@@ -379,10 +549,7 @@ fn explain(seed: u64, args: &ExplainArgs) {
     obs::set_enabled(false);
     print!("{}", render_text(&report));
 
-    if let Err(e) = std::fs::write(&args.out, render_json(&report)) {
-        eprintln!("error: writing {}: {}", args.out, e);
-        std::process::exit(1);
-    }
+    write_report(&args.out, &render_json(&report));
     println!("# diagnostics report written to {}", args.out);
 
     if let Some(svg_path) = &args.svg {
@@ -393,10 +560,7 @@ fn explain(seed: u64, args: &ExplainArgs) {
         let outcome =
             coflow::sched::run_with_order(&inst, order, att.grouping, att.backfill);
         let svg = coflow_netsim::render_svg_heatmap(&outcome.trace, 128);
-        if let Err(e) = std::fs::write(svg_path, svg) {
-            eprintln!("error: writing {}: {}", svg_path, e);
-            std::process::exit(1);
-        }
+        write_report(svg_path, &svg);
         println!("# port-utilization heatmap written to {}", svg_path);
     }
 
@@ -607,31 +771,39 @@ fn faults(seed: u64) {
 fn pin(seed: u64, args: &PinArgs) {
     use coflow_bench::pins::{collect_pins, compare_pins, parse_pins, render_pins, render_pins_json};
 
+    // Read and parse the committed pin file *before* the expensive pin
+    // collection, so a missing/truncated file fails in milliseconds with
+    // the regeneration command instead of after a full grid run.
+    let checked = args.check.as_ref().map(|check| {
+        let regen = format!(
+            "cargo run --release -p coflow-bench --bin experiments -- pin --out {}",
+            check
+        );
+        let text = read_baseline_file(check, "pin file", &regen);
+        match parse_pins(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!(
+                    "error: {}: {}.\nRegenerate it with:\n    {}",
+                    check, e, regen
+                );
+                std::process::exit(1);
+            }
+        }
+    });
+
     let report = collect_pins(seed);
     print!("{}", render_pins(&report));
 
     if let Some(out) = &args.out {
-        if let Err(e) = std::fs::write(out, render_pins_json(&report)) {
-            eprintln!("error: writing {}: {}", out, e);
-            std::process::exit(1);
-        }
+        write_report(out, &render_pins_json(&report));
         println!("# pin file written to {}", out);
     }
 
     if let Some(check) = &args.check {
-        let text = match std::fs::read_to_string(check) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: reading {}: {}", check, e);
-                std::process::exit(1);
-            }
-        };
-        let baseline = match parse_pins(&text) {
-            Ok(b) => b,
-            Err(e) => {
-                eprintln!("error: {}: {}", check, e);
-                std::process::exit(1);
-            }
+        let baseline = match checked {
+            Some(b) => b,
+            None => unreachable!(),
         };
         match compare_pins(&baseline, &report, args.tolerance) {
             Ok(summary) => println!("# {}: {}", check, summary),

@@ -18,6 +18,7 @@
 //! * [`report`] — plain-text table rendering.
 
 pub mod arrivals;
+pub mod chaos;
 pub mod explain;
 pub mod faults;
 pub mod figures;

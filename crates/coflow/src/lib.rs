@@ -66,9 +66,14 @@ pub use crate::relax::{
     try_solve_interval_lp_with, LpExpRelaxation, LpRelaxation,
 };
 pub use crate::sched::engine::{
-    greedy_match, run_policy, run_policy_with_faults, BvnBatchPolicy, Decision, EngineError,
-    EpochState, GreedyPolicy, OnlineOptions, OnlineRhoPolicy, Policy, ResilientPolicy,
+    greedy_match, run_policy, run_policy_with_faults, BvnBatchPolicy, Decision, Engine,
+    EngineError, EpochState, GreedyPolicy, OnlineOptions, OnlineRhoPolicy, Policy,
+    ResilientPolicy,
 };
+pub use crate::sched::snapshot::{
+    ActiveBatchState, EngineSnapshot, PolicyState, SNAPSHOT_SCHEMA,
+};
+pub use crate::sched::watchdog::{WatchdogConfig, WatchdogPolicy, LADDER_TIER_BASE};
 pub use crate::sched::greedy::{run_greedy, run_greedy_with_faults};
 pub use crate::sched::online::{run_online, run_online_opts, run_online_with_faults};
 pub use crate::sched::recovery::{

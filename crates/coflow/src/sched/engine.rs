@@ -36,7 +36,7 @@ use crate::coflow::Coflow;
 use crate::error::SchedError;
 use crate::instance::Instance;
 use coflow_lp::SimplexOptions;
-use coflow_matching::{bvn_decompose, BvnDecomposition, IntMatrix};
+use coflow_matching::{bvn_decompose, BvnDecomposition, IntMatrix, MatchingSlot, Permutation};
 use coflow_netsim::{Fabric, FaultPlan, FaultSim, ScheduleTrace, SimError};
 use rayon::prelude::*;
 use std::fmt;
@@ -215,6 +215,15 @@ pub trait Policy {
     /// policy declared [`Decision::Finished`]); releases any per-run
     /// resources the policy holds, e.g. obs span guards.
     fn finish(&mut self) {}
+
+    /// Captures the policy's planning state for [`Engine::checkpoint`].
+    /// The captured state must be *complete*: rebuilding via
+    /// [`super::snapshot::PolicyState::rebuild`] and continuing the run
+    /// must be bit-identical to never having stopped. Policies return
+    /// `None` (the default) to opt out of checkpointing.
+    fn capture_state(&self) -> Option<super::snapshot::PolicyState> {
+        None
+    }
 }
 
 /// Runs `policy` to completion on a clean fabric.
@@ -292,84 +301,207 @@ pub fn run_policy_with_faults<P: Policy + ?Sized>(
     plan: &FaultPlan,
 ) -> Result<FaultyOutcome, EngineError> {
     let _span = obs::span("sched.engine.faulty");
-    let m = instance.ports();
-    let mut sim = FaultSim::new(
-        m,
-        &instance.demand_matrices(),
-        &instance.releases(),
-        plan.clone(),
-    );
-    let boundaries = plan.boundaries();
-    let mut replans = 0usize;
-    let mut tiers: Vec<usize> = Vec::new();
-    let mut last_window: Option<usize> = None;
-
-    let mut decisions: u64 = 0;
+    let mut engine = Engine::new(instance, plan);
     let result = (|| -> Result<(), EngineError> {
-        while !sim.all_settled() {
-            let now = sim.now();
-            let decision = policy.decide(&EpochState {
-                now,
-                instance,
-                exec: ExecRef::Faulty(&sim),
-            })?;
-            decisions += 1;
-            match decision {
-                Decision::Execute(trace) => {
-                    replans += 1;
-                    tiers.push(policy.tier());
-                    obs::counter_add("coflow.recovery.epochs", 1);
-                    // Execute until the fault state next changes (needing
-                    // ≥ 1 slot of progress), or to the end of the plan when
-                    // it never does again.
-                    let stop = boundaries.iter().copied().find(|&b| b > now + 1);
-                    sim.execute_trace(&trace, stop)?;
-                }
-                Decision::Run { pairs, duration } => {
-                    // One planning epoch per fault window entered: the
-                    // window of slot now+1 is the count of boundaries at or
-                    // before it.
-                    let window = boundaries.partition_point(|&b| b <= now + 1);
-                    if last_window != Some(window) {
-                        last_window = Some(window);
-                        replans += 1;
-                        tiers.push(policy.tier());
-                        obs::counter_add("coflow.recovery.epochs", 1);
-                    }
-                    step_pairs(&mut sim, &pairs, duration)?;
-                    policy.recycle(pairs);
-                }
-                Decision::Advance(t) => sim.advance_to(t),
-                Decision::Finished => break,
-            }
-        }
+        while engine.step(policy)? {}
         Ok(())
     })();
-    policy.finish();
-    obs::counter_add("coflow.engine.decisions", decisions);
-    result?;
+    if let Err(e) = result {
+        policy.finish();
+        obs::counter_add("coflow.engine.decisions", engine.decisions);
+        return Err(e);
+    }
+    Ok(engine.into_outcome(policy))
+}
 
-    debug_assert!(
-        sim.all_settled(),
-        "engine: policy '{}' finished with unsettled coflows",
-        policy.name()
-    );
-    let blocked = sim.blocked_log().to_vec();
-    let (executed, completions, blocked_units) = sim.finish();
-    let objective = completions
-        .iter()
-        .zip(instance.coflows())
-        .filter_map(|(c, cf)| c.map(|t| cf.weight * t as f64))
-        .sum();
-    Ok(FaultyOutcome {
-        completions,
-        executed,
-        objective,
-        replans,
-        tiers,
-        blocked_units,
-        blocked,
-    })
+/// The fault-aware engine as a steppable object: the loop body of
+/// [`run_policy_with_faults`], exposed so harnesses can interleave decision
+/// epochs with [`Engine::checkpoint`] / [`Engine::restore`] (crash-safe
+/// long runs, the chaos harness, the SIGINT path). Driving [`Engine::step`]
+/// to quiescence and calling [`Engine::into_outcome`] is *bit-identical*
+/// to the one-shot entry point — same `FaultyOutcome`, same obs counters.
+pub struct Engine<'a> {
+    instance: &'a Instance,
+    sim: FaultSim,
+    boundaries: Vec<u64>,
+    replans: usize,
+    tiers: Vec<usize>,
+    last_window: Option<usize>,
+    decisions: u64,
+}
+
+impl<'a> Engine<'a> {
+    /// Builds a fresh engine over `instance` under `plan`.
+    pub fn new(instance: &'a Instance, plan: &FaultPlan) -> Self {
+        let sim = FaultSim::new(
+            instance.ports(),
+            &instance.demand_matrices(),
+            &instance.releases(),
+            plan.clone(),
+        );
+        Engine {
+            instance,
+            sim,
+            boundaries: plan.boundaries(),
+            replans: 0,
+            tiers: Vec::new(),
+            last_window: None,
+            decisions: 0,
+        }
+    }
+
+    /// Current time (end of the last executed slot).
+    pub fn now(&self) -> u64 {
+        self.sim.now()
+    }
+
+    /// True when every coflow is settled (complete or cancelled).
+    pub fn done(&self) -> bool {
+        self.sim.all_settled()
+    }
+
+    /// Planning epochs so far (the eventual [`FaultyOutcome::replans`]).
+    pub fn replans(&self) -> usize {
+        self.replans
+    }
+
+    /// Fallback tiers recorded so far, one per planning epoch.
+    pub fn tiers(&self) -> &[usize] {
+        &self.tiers
+    }
+
+    /// Read-only view of the underlying fault simulator.
+    pub fn sim(&self) -> &FaultSim {
+        &self.sim
+    }
+
+    /// Runs one decision epoch: consults the policy and applies its
+    /// decision. Returns `Ok(false)` when the run is over (all demand
+    /// settled, or the policy declared [`Decision::Finished`]) and
+    /// `Ok(true)` when there is more to do.
+    pub fn step<P: Policy + ?Sized>(&mut self, policy: &mut P) -> Result<bool, EngineError> {
+        if self.sim.all_settled() {
+            return Ok(false);
+        }
+        let now = self.sim.now();
+        let decision = policy.decide(&EpochState {
+            now,
+            instance: self.instance,
+            exec: ExecRef::Faulty(&self.sim),
+        })?;
+        self.decisions += 1;
+        match decision {
+            Decision::Execute(trace) => {
+                self.replans += 1;
+                self.tiers.push(policy.tier());
+                obs::counter_add("coflow.recovery.epochs", 1);
+                // Execute until the fault state next changes (needing
+                // ≥ 1 slot of progress), or to the end of the plan when
+                // it never does again.
+                let stop = self.boundaries.iter().copied().find(|&b| b > now + 1);
+                self.sim.execute_trace(&trace, stop)?;
+            }
+            Decision::Run { pairs, duration } => {
+                // One planning epoch per fault window entered: the
+                // window of slot now+1 is the count of boundaries at or
+                // before it.
+                let window = self.boundaries.partition_point(|&b| b <= now + 1);
+                if self.last_window != Some(window) {
+                    self.last_window = Some(window);
+                    self.replans += 1;
+                    self.tiers.push(policy.tier());
+                    obs::counter_add("coflow.recovery.epochs", 1);
+                }
+                step_pairs(&mut self.sim, &pairs, duration)?;
+                policy.recycle(pairs);
+            }
+            Decision::Advance(t) => self.sim.advance_to(t),
+            Decision::Finished => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Finalizes the run: releases policy resources, flushes the decision
+    /// counter, and assembles the [`FaultyOutcome`] exactly as
+    /// [`run_policy_with_faults`] does.
+    pub fn into_outcome<P: Policy + ?Sized>(self, policy: &mut P) -> FaultyOutcome {
+        policy.finish();
+        obs::counter_add("coflow.engine.decisions", self.decisions);
+        debug_assert!(
+            self.sim.all_settled(),
+            "engine: policy '{}' finished with unsettled coflows",
+            policy.name()
+        );
+        let blocked = self.sim.blocked_log().to_vec();
+        let (executed, completions, blocked_units) = self.sim.finish();
+        let objective = completions
+            .iter()
+            .zip(self.instance.coflows())
+            .filter_map(|(c, cf)| c.map(|t| cf.weight * t as f64))
+            .sum();
+        FaultyOutcome {
+            completions,
+            executed,
+            objective,
+            replans: self.replans,
+            tiers: self.tiers,
+            blocked_units,
+            blocked,
+        }
+    }
+
+    /// Captures the full engine + policy state as a versioned snapshot.
+    /// Fails with [`SchedError::Unsupported`] for policies that do not
+    /// implement [`Policy::capture_state`].
+    pub fn checkpoint<P: Policy + ?Sized>(
+        &self,
+        policy: &P,
+    ) -> Result<super::snapshot::EngineSnapshot, SchedError> {
+        let Some(policy_state) = policy.capture_state() else {
+            return Err(SchedError::Unsupported {
+                what: "policy does not support checkpointing",
+            });
+        };
+        Ok(super::snapshot::EngineSnapshot {
+            replans: self.replans,
+            tiers: self.tiers.clone(),
+            last_window: self.last_window,
+            decisions: self.decisions,
+            sim: self.sim.capture(),
+            policy: policy_state,
+        })
+    }
+
+    /// Rebuilds an engine and its policy from a snapshot, validating the
+    /// snapshot against `instance` (fabric width, coflow count, releases).
+    /// The restored pair continues bit-identically to the checkpointed run.
+    pub fn restore(
+        instance: &'a Instance,
+        snapshot: super::snapshot::EngineSnapshot,
+    ) -> Result<(Engine<'a>, Box<dyn Policy>), coflow_netsim::SnapshotError> {
+        let bad = coflow_netsim::SnapshotError::new;
+        if snapshot.sim.m != instance.ports() {
+            return Err(bad("snapshot fabric width disagrees with instance"));
+        }
+        if snapshot.sim.releases != instance.releases() {
+            return Err(bad("snapshot release dates disagree with instance"));
+        }
+        let policy = snapshot.policy.rebuild(instance)?;
+        let boundaries = snapshot.sim.plan.boundaries();
+        let sim = FaultSim::from_state(snapshot.sim)?;
+        Ok((
+            Engine {
+                instance,
+                sim,
+                boundaries,
+                replans: snapshot.replans,
+                tiers: snapshot.tiers,
+                last_window: snapshot.last_window,
+                decisions: snapshot.decisions,
+            },
+            policy,
+        ))
+    }
 }
 
 /// Executes a `pairs`/`duration` slot plan on the fault simulator slot by
@@ -573,6 +705,76 @@ impl BvnBatchPolicy {
             dst_used: vec![false; m],
             sim_span: None,
         }
+    }
+
+    /// Rebuilds a checkpointed policy. Derived state (order positions,
+    /// pair queues, parallel pre-decompositions) is recomputed from the
+    /// instance — it depends only on full demands and the order, both of
+    /// which the snapshot carries; pre-decompositions already consumed by
+    /// past batches are re-dropped. `pair_head` trims restart at zero:
+    /// they are a pure scan optimization (trimmed prefixes have zero
+    /// remaining demand and are filtered out either way), so decisions are
+    /// unaffected. The per-batch obs span is reopened when a batch is in
+    /// flight so the stage taxonomy matches an uninterrupted run.
+    pub(crate) fn restore(
+        instance: &Instance,
+        order: Vec<usize>,
+        batches: Vec<Vec<usize>>,
+        opts: ExecOptions,
+        b_idx: usize,
+        current: Option<&super::snapshot::ActiveBatchState>,
+    ) -> Result<Self, coflow_netsim::SnapshotError> {
+        let bad = coflow_netsim::SnapshotError::new;
+        if b_idx > batches.len() {
+            return Err(bad("bvn-batch: b_idx past the last batch"));
+        }
+        let mut policy = BvnBatchPolicy::new(instance, order, batches, opts);
+        policy.b_idx = b_idx;
+        if policy.parallel_decompose {
+            for slot in policy.precomputed.iter_mut().take(b_idx) {
+                *slot = None;
+            }
+        }
+        if let Some(cs) = current {
+            let m = instance.ports();
+            if cs.augmented.len() != m * m {
+                return Err(bad("bvn-batch: augmented matrix width mismatch"));
+            }
+            let slots = cs
+                .slots
+                .iter()
+                .map(|(map, count)| {
+                    if map.len() != m {
+                        return Err(bad("bvn-batch: permutation length mismatch"));
+                    }
+                    let mut seen = vec![false; m];
+                    for &j in map {
+                        if j >= m || seen[j] {
+                            return Err(bad("bvn-batch: slot is not a permutation"));
+                        }
+                        seen[j] = true;
+                    }
+                    Ok(MatchingSlot {
+                        perm: Permutation::new(map.clone()),
+                        count: *count,
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            if cs.chunks.iter().any(|&(idx, _)| idx >= slots.len()) {
+                return Err(bad("bvn-batch: chunk references a missing slot"));
+            }
+            policy.sim_span = Some(obs::span("sched.simulate"));
+            policy.current = Some(ActiveBatch {
+                dec: BvnDecomposition {
+                    augmented: IntMatrix::from_rows(m, cs.augmented.clone()),
+                    slots,
+                    load: cs.load,
+                },
+                chunks: cs.chunks.clone().into_iter(),
+                batch_end_pos: cs.batch_end_pos,
+            });
+        }
+        Ok(policy)
     }
 
     /// Plans the candidate lists for one chunk of the active batch,
@@ -891,6 +1093,28 @@ impl Policy for BvnBatchPolicy {
     fn finish(&mut self) {
         self.sim_span = None;
     }
+
+    fn capture_state(&self) -> Option<super::snapshot::PolicyState> {
+        let current = self.current.as_ref().map(|cur| super::snapshot::ActiveBatchState {
+            augmented: cur.dec.augmented.as_slice().to_vec(),
+            slots: cur
+                .dec
+                .slots
+                .iter()
+                .map(|s| (s.perm.as_slice().to_vec(), s.count))
+                .collect(),
+            load: cur.dec.load,
+            chunks: cur.chunks.as_slice().to_vec(),
+            batch_end_pos: cur.batch_end_pos,
+        });
+        Some(super::snapshot::PolicyState::BvnBatch {
+            order: self.order.clone(),
+            batches: self.batches.clone(),
+            opts: self.opts,
+            b_idx: self.b_idx,
+            current,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -947,6 +1171,30 @@ pub struct OnlineRhoPolicy {
 }
 
 impl OnlineRhoPolicy {
+    /// Rebuilds a checkpointed policy: the event list is recomputed from
+    /// the instance (it is a pure function of the release dates); the
+    /// admission cursor and the active set — in their current priority
+    /// order, which a rebuild could not reproduce from drained loads — come
+    /// from the snapshot.
+    pub(crate) fn restore(
+        instance: &Instance,
+        opts: OnlineOptions,
+        next_event: usize,
+        active: Vec<usize>,
+    ) -> Result<Self, coflow_netsim::SnapshotError> {
+        let bad = coflow_netsim::SnapshotError::new;
+        if next_event > instance.len() {
+            return Err(bad("online-rho: admission cursor past the last event"));
+        }
+        if active.iter().any(|&k| k >= instance.len()) {
+            return Err(bad("online-rho: active set references a missing coflow"));
+        }
+        let mut policy = OnlineRhoPolicy::new(instance, opts);
+        policy.next_event = next_event;
+        policy.active = active;
+        Ok(policy)
+    }
+
     /// Builds the policy over the instance's arrival events.
     pub fn new(instance: &Instance, opts: OnlineOptions) -> Self {
         let n = instance.len();
@@ -1017,6 +1265,14 @@ impl Policy for OnlineRhoPolicy {
         Ok(Decision::Run {
             pairs: moves.into_iter().map(|(i, j, k)| (i, j, vec![k])).collect(),
             duration: 1,
+        })
+    }
+
+    fn capture_state(&self) -> Option<super::snapshot::PolicyState> {
+        Some(super::snapshot::PolicyState::OnlineRho {
+            resort_on_completion: self.opts.resort_on_completion,
+            next_event: self.next_event,
+            active: self.active.clone(),
         })
     }
 }
@@ -1091,6 +1347,12 @@ impl Policy for GreedyPolicy {
     fn final_order(&self, _completions: &[u64]) -> Vec<usize> {
         self.order.clone()
     }
+
+    fn capture_state(&self) -> Option<super::snapshot::PolicyState> {
+        Some(super::snapshot::PolicyState::Greedy {
+            order: self.order.clone(),
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1117,6 +1379,23 @@ impl ResilientPolicy {
             spec,
             lp_opts,
             last_tier: 0,
+        }
+    }
+
+    /// Shrinks the solver budgets by `factor` (watchdog retry path). The
+    /// scaled budgets persist — and are checkpointed — so a restored run
+    /// retries under the same pressure it was under when interrupted.
+    pub fn scale_budgets(&mut self, factor: f64) {
+        self.lp_opts = self.lp_opts.with_scaled_budgets(factor);
+    }
+
+    /// Rebuilds a checkpointed policy (planning is stateless beyond the
+    /// last reported tier).
+    pub(crate) fn restore(spec: AlgorithmSpec, lp_opts: SimplexOptions, last_tier: usize) -> Self {
+        ResilientPolicy {
+            spec,
+            lp_opts,
+            last_tier,
         }
     }
 }
@@ -1168,6 +1447,14 @@ impl Policy for ResilientPolicy {
             }
         }
         Ok(Decision::Execute(trace))
+    }
+
+    fn capture_state(&self) -> Option<super::snapshot::PolicyState> {
+        Some(super::snapshot::PolicyState::Resilient {
+            spec: self.spec,
+            lp_opts: self.lp_opts.clone(),
+            last_tier: self.last_tier,
+        })
     }
 }
 

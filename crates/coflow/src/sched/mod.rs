@@ -16,6 +16,8 @@ pub mod online;
 pub mod optimal;
 pub mod recovery;
 pub mod resilient;
+pub mod snapshot;
+pub mod watchdog;
 
 use crate::grouping::{group_by_doubling, group_by_grid};
 use crate::instance::Instance;

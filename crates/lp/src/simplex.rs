@@ -89,6 +89,23 @@ impl Default for SimplexOptions {
     }
 }
 
+impl SimplexOptions {
+    /// These options with the pivot and wall-clock budgets scaled by
+    /// `factor` (clamped to keep at least one pivot / one millisecond).
+    /// Used by deadline-driven callers to retry a breached solve under a
+    /// shrunk budget; all numerical tolerances are left untouched.
+    pub fn with_scaled_budgets(&self, factor: f64) -> SimplexOptions {
+        let scale_usize =
+            |x: usize| (((x as f64) * factor).floor() as usize).max(1);
+        let scale_ms = |x: u64| (((x as f64) * factor).floor() as u64).max(1);
+        SimplexOptions {
+            max_iterations: scale_usize(self.max_iterations),
+            time_limit_ms: self.time_limit_ms.map(scale_ms),
+            ..self.clone()
+        }
+    }
+}
+
 /// Cross-phase budget and numerical-health tracking.
 struct HealthMonitor {
     start: Instant,

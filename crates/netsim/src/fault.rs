@@ -142,6 +142,17 @@ pub struct FaultPlan {
     pub events: Vec<FaultEvent>,
 }
 
+/// Knobs for [`FaultPlan::adversarial`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdversarialConfig {
+    /// Correlated ports to take down on *each* side (ingress and egress).
+    pub ports: usize,
+    /// Outage window length in slots.
+    pub window: u64,
+    /// First affected slot (1-indexed, like all fault windows).
+    pub start: u64,
+}
+
 /// SplitMix64 — tiny deterministic generator so plans are seedable without
 /// pulling an RNG dependency into the simulator.
 struct SplitMix64(u64);
@@ -213,6 +224,49 @@ impl FaultPlan {
                 let at = rng.range_u64(1, horizon);
                 events.push(FaultEvent::CoflowCancelled { coflow, at });
             }
+        }
+        FaultPlan { events }
+    }
+
+    /// Generates an *adversarial* plan for the chaos harness: instead of
+    /// seeded-random outages, it takes down exactly the ports the schedule
+    /// can least afford to lose. The target is the heaviest coflow by
+    /// weighted bottleneck load `w_k · ρ(D^{(k)})` (ties to the lowest id);
+    /// the plan is a correlated outage of its `cfg.ports` busiest ingress
+    /// and egress ports for the window `[cfg.start, cfg.start + cfg.window
+    /// - 1]`, so the victim loses its whole bottleneck at once rather than
+    /// one link at a time. Deterministic — no RNG; the worst-window search
+    /// in the harness sweeps `cfg.start` over candidate boundaries.
+    pub fn adversarial(demands: &[IntMatrix], weights: &[f64], cfg: &AdversarialConfig) -> Self {
+        assert_eq!(demands.len(), weights.len());
+        let Some(victim) = (0..demands.len()).max_by(|&a, &b| {
+            let score = |k: usize| {
+                let d = &demands[k];
+                let rho = d
+                    .row_sums()
+                    .into_iter()
+                    .chain(d.col_sums())
+                    .max()
+                    .unwrap_or(0);
+                weights[k] * rho as f64
+            };
+            score(a).total_cmp(&score(b)).then(b.cmp(&a))
+        }) else {
+            return FaultPlan::default();
+        };
+        let end = cfg.start + cfg.window.max(1) - 1;
+        let top_ports = |loads: Vec<u64>| -> Vec<usize> {
+            let mut ranked: Vec<usize> = (0..loads.len()).filter(|&p| loads[p] > 0).collect();
+            ranked.sort_by(|&a, &b| loads[b].cmp(&loads[a]).then(a.cmp(&b)));
+            ranked.truncate(cfg.ports.max(1));
+            ranked
+        };
+        let mut events = Vec::new();
+        for port in top_ports(demands[victim].row_sums()) {
+            events.push(FaultEvent::IngressOutage { port, start: cfg.start, end });
+        }
+        for port in top_ports(demands[victim].col_sums()) {
+            events.push(FaultEvent::EgressOutage { port, start: cfg.start, end });
         }
         FaultPlan { events }
     }
@@ -815,6 +869,66 @@ impl FaultSim {
             w0 = w1 + 1;
         }
         true
+    }
+
+    /// Captures the complete simulator state as plain data (see
+    /// [`crate::snapshot::FaultSimState`]). `capture` + [`FaultSim::from_state`]
+    /// round-trips bit-identically: the restored simulator produces the
+    /// same [`SlotOutcome`]s, completions, and executed trace as the
+    /// original for any subsequent move sequence.
+    pub fn capture(&self) -> crate::snapshot::FaultSimState {
+        crate::snapshot::FaultSimState {
+            m: self.m,
+            remaining: self.remaining.clone(),
+            remaining_total: self.remaining_total.clone(),
+            releases: self.releases.clone(),
+            completion: self.completion.clone(),
+            last_activity: self.last_activity.clone(),
+            cancelled: self.cancelled.clone(),
+            now: self.now,
+            plan: self.plan.clone(),
+            executed: self.executed.clone(),
+            blocked_units: self.blocked_units,
+            blocked_log: self.blocked_log.clone(),
+            blocked_log_dropped: self.blocked_log_dropped,
+        }
+    }
+
+    /// Rebuilds a simulator from captured state, validating dimensions.
+    pub fn from_state(
+        state: crate::snapshot::FaultSimState,
+    ) -> Result<FaultSim, crate::snapshot::SnapshotError> {
+        let n = state.releases.len();
+        let bad = |msg: &str| Err(crate::snapshot::SnapshotError::new(msg.to_string()));
+        if state.remaining.len() != n
+            || state.remaining_total.len() != n
+            || state.completion.len() != n
+            || state.last_activity.len() != n
+            || state.cancelled.len() != n
+        {
+            return bad("per-coflow vectors disagree on coflow count");
+        }
+        if state.remaining.iter().any(|d| d.dim() != state.m) {
+            return bad("residual demand matrix width disagrees with 'm'");
+        }
+        if state.executed.m != state.m {
+            return bad("executed trace fabric width disagrees with 'm'");
+        }
+        Ok(FaultSim {
+            m: state.m,
+            remaining: state.remaining,
+            remaining_total: state.remaining_total,
+            releases: state.releases,
+            completion: state.completion,
+            last_activity: state.last_activity,
+            cancelled: state.cancelled,
+            now: state.now,
+            plan: state.plan,
+            executed: state.executed,
+            blocked_units: state.blocked_units,
+            blocked_log: state.blocked_log,
+            blocked_log_dropped: state.blocked_log_dropped,
+        })
     }
 
     /// Finishes execution, returning the executed trace (1-slot runs of

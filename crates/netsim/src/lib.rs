@@ -27,12 +27,16 @@ pub mod fabric;
 pub mod fault;
 pub mod recorder;
 pub mod render;
+pub mod snapshot;
 pub mod stats;
 pub mod trace;
 pub mod validate;
 
 pub use fabric::{Fabric, SlotSim};
-pub use fault::{BlockedSlot, FaultEvent, FaultPlan, FaultSim, SimError, SlotOutcome};
+pub use fault::{
+    AdversarialConfig, BlockedSlot, FaultEvent, FaultPlan, FaultSim, SimError, SlotOutcome,
+};
+pub use snapshot::{FaultSimState, SnapshotError};
 pub use recorder::{
     record_flights, CoflowFlight, FlightEvent, FlightRecorder, PortSeries, RecorderConfig,
 };

@@ -1,0 +1,60 @@
+//! Crash-safe file output: write to a sibling temp file, then rename.
+//!
+//! Every report sink in the workspace (pins, profiles, chrome traces,
+//! chaos reports, checkpoints) funnels through [`atomic_write`] so that a
+//! SIGINT or crash mid-write can never leave a truncated file behind —
+//! `rename(2)` within one directory is atomic on every platform we target.
+
+use crate::ObsError;
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically: the bytes land in
+/// `<path>.tmp.<pid>` first and are renamed over the destination only
+/// after a successful full write. On failure the temp file is removed.
+pub fn atomic_write(path: &str, contents: &str) -> Result<(), ObsError> {
+    let io_err = |e: std::io::Error| ObsError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    };
+    let tmp = format!("{}.tmp.{}", path, std::process::id());
+    if let Err(e) = std::fs::write(&tmp, contents) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(io_err(e));
+    }
+    if let Err(e) = std::fs::rename(&tmp, Path::new(path)) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(io_err(e));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = std::env::temp_dir().join(format!("obs-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        let path = path.to_str().unwrap();
+        atomic_write(path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "first");
+        atomic_write(path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "second");
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_errors() {
+        let err = atomic_write("/nonexistent-dir-xyz/file.json", "x").unwrap_err();
+        assert!(err.to_string().contains("file.json"));
+    }
+}

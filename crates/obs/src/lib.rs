@@ -26,12 +26,17 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+mod atomic;
 mod error;
 mod hist;
+pub mod interrupt;
+pub mod json;
 mod sink;
 
+pub use atomic::atomic_write;
 pub use error::ObsError;
 pub use hist::{bucket_bounds, bucket_index, Histogram, NUM_BUCKETS};
+pub use interrupt::{install_sigint_handler, interrupted, SIGINT_EXIT_CODE};
 pub use sink::{render_chrome_trace, render_chrome_trace_full};
 
 use std::cell::RefCell;
@@ -399,10 +404,7 @@ pub fn chrome_trace() -> String {
 
 /// Writes [`chrome_trace`] output to `path`.
 pub fn write_chrome_trace(path: &str) -> Result<(), ObsError> {
-    std::fs::write(path, chrome_trace()).map_err(|e| ObsError::Io {
-        path: path.to_string(),
-        message: e.to_string(),
-    })
+    atomic_write(path, &chrome_trace())
 }
 
 #[cfg(test)]

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Crash-safety gate: the chaos harness on the 60-port paper-scale cell.
+# Fixed seed, a handful of kill/checkpoint/restore cycles per policy
+# (resilient, online, greedy, watchdog-over-BvN) under the seeded fault
+# plan; every interrupted run must land bit-identically on its
+# uninterrupted reference, and the coflow-chaos/1 report must satisfy the
+# in-repo validator (`experiments chaos --validate`). The harness itself
+# panics on any invariant violation (demand conservation, monotone
+# progress, surviving demand completes), so a zero exit is the proof.
+#
+# Usage:
+#   scripts/check-chaos.sh              # default: 3 kills/policy, seed 2015
+#   CHAOS_KILLS=8 scripts/check-chaos.sh
+#   CHAOS_WINDOWS=4 scripts/check-chaos.sh   # add the adversarial sweep
+set -eu
+cd "$(dirname "$0")/.."
+
+out_dir="${CHAOS_OUT_DIR:-target}"
+mkdir -p "$out_dir"
+
+cargo build --release -q -p coflow-bench
+
+./target/release/experiments chaos \
+    --kills "${CHAOS_KILLS:-3}" \
+    --windows "${CHAOS_WINDOWS:-0}" \
+    --out "$out_dir/chaos.json"
+
+./target/release/experiments chaos --validate "$out_dir/chaos.json"

@@ -24,8 +24,29 @@ cd "$(dirname "$0")/.."
 
 OUT="${PERF_OUT:-BENCH_grid.json}"
 
+# Fail fast, with the regeneration command, when a committed gate file is
+# missing or truncated — before any expensive run starts. (The experiments
+# binary repeats the same check with the same message; this catches the
+# problem before cargo even builds.)
+for gate in BENCH_pins.json BENCH_baseline.json; do
+    if [ ! -s "$gate" ]; then
+        echo "error: gate file '$gate' is missing or empty." >&2
+        case "$gate" in
+            BENCH_pins.json) echo "Regenerate it with:" >&2 \
+                && echo "    cargo run --release -p coflow-bench --bin experiments -- pin --out BENCH_pins.json" >&2 ;;
+            BENCH_baseline.json) echo "Regenerate it with:" >&2 \
+                && echo "    scripts/bench-baseline.sh --update" >&2 ;;
+        esac
+        exit 1
+    fi
+done
+
 cargo run --release -q -p coflow-bench --bin experiments -- \
     pin --check BENCH_pins.json --tolerance "${PIN_TOLERANCE:-1.0}"
+
+# Checkpoint/resume differential at full pin scale: interrupt at every
+# decision epoch and require the committed pin bits to survive.
+cargo test --release -q -p coflow-bench --test checkpoint_differential -- --ignored
 
 cargo run --release -q -p coflow-bench --bin experiments -- \
     profile --out "$OUT" --baseline BENCH_baseline.json "$@"

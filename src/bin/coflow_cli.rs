@@ -165,6 +165,11 @@ fn load_instance(path: &str, ports: Option<usize>) -> Instance {
 }
 
 fn main() {
+    // Convert Ctrl-C into a graceful exit: the current phase finishes, any
+    // output produced so far is flushed, and the process exits 130 instead
+    // of being killed mid-write (report files are written atomically, so a
+    // reader never observes a torn document either way).
+    obs::install_sigint_handler();
     let args = parse_args();
 
     if let Some(n) = args.generate {
@@ -220,6 +225,11 @@ fn main() {
         eprintln!("internal error: schedule failed verification: {}", e);
         exit(1);
     }
+    if obs::interrupted() {
+        // The schedule completed before the signal was observed; report it
+        // (it is valid and verified) but surface the interruption.
+        eprintln!("interrupted: reporting the completed schedule and exiting 130");
+    }
 
     if args.emit_json {
         // Shape: [objective, makespan, [[coflow_id, completion_slot], ...]]
@@ -265,7 +275,10 @@ fn main() {
         );
     }
 
-    if args.do_explain {
+    if args.do_explain && !obs::interrupted() {
+        // Skipped after an interrupt: the forensics LP is the most
+        // expensive stage and the schedule report above is already
+        // complete and verified.
         let lp = coflow::solve_interval_lp(&instance);
         let d = coflow::diagnose(
             &instance,
@@ -300,5 +313,9 @@ fn main() {
         for a in &d.anomalies {
             println!("anomaly [{}] {}: {}", a.severity.name(), a.detector.name(), a.message);
         }
+    }
+
+    if obs::interrupted() {
+        exit(obs::SIGINT_EXIT_CODE);
     }
 }
