@@ -1,9 +1,10 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [table1|fig2a|fig2b|lpexp|ratios|all] [--seed N]
+//! experiments [table1|fig2a|fig2b|lpexp|ratios|all] [--seed N] [--telemetry PATH]
 //! experiments profile [--out PATH] [--trace PATH] [--baseline PATH]
 //!                     [--tolerance F] [--full] [--sequential] [--seed N]
+//!                     [--mem-out PATH] [--mem-baseline PATH] [--mem-tolerance F]
 //! experiments explain [--out PATH] [--svg PATH] [--trace PATH]
 //!                     [--faults RATE] [--severity LEVEL]
 //!                     [--expect-starvation] [--validate PATH] [--seed N]
@@ -12,13 +13,26 @@
 //!                   [--out PATH] [--validate PATH] [--seed N]
 //! ```
 //!
+//! `--telemetry PATH` (any subcommand) installs the streaming NDJSON sink:
+//! one self-contained `coflow-telemetry/1` line per heartbeat appended (and
+//! flushed) to `PATH` while the run progresses — engine decision epochs,
+//! fault replans, per-cell profile samples, report writes. Because every
+//! line is flushed before the next heartbeat, the stream is valid NDJSON
+//! even after a SIGINT. Tail it live with `scripts/watch-telemetry.sh PATH`.
+//!
 //! `profile` runs the 12-cell grid with the `obs` registry enabled and
 //! writes a per-stage timing/counter report (`BENCH_grid.json`, schema
-//! `coflow-bench-grid/2`). With `--baseline` it diffs against a committed
-//! report and exits 1 on a per-stage regression beyond `--tolerance`
-//! (default 0.2 = +20%); `--trace` additionally writes a chrome://tracing
-//! view of the last cell; `--full` profiles the paper's 150-port fabric
-//! instead of the default reduced scale.
+//! `coflow-bench-grid/3` — `/3` adds a per-cell `mem` object: peak live
+//! bytes, peak RSS, per-stage allocation attribution). With `--baseline`
+//! it diffs against a committed report and exits 1 on a per-stage
+//! regression beyond `--tolerance` (default 0.2 = +20%); `--trace`
+//! additionally writes a chrome://tracing view of the last cell; `--full`
+//! profiles the paper's 150-port fabric instead of the default reduced
+//! scale. `--mem-out` writes the compact `coflow-bench-mem/1` memory
+//! report; `--mem-baseline` gates allocation counts/bytes and peak live
+//! bytes against a committed copy within `--mem-tolerance` (default 0.25 =
+//! +25%; peak RSS is reported but never gated — it is machine-dependent).
+//! `scripts/check-mem.sh` runs the gate against `BENCH_mem.json`.
 //!
 //! `explain` runs the schedule-forensics pipeline over the same grid:
 //! per-coflow LP attribution, anomaly detectors, and a
@@ -79,6 +93,9 @@ struct ProfileArgs {
     tolerance: f64,
     full: bool,
     sequential: bool,
+    mem_out: Option<String>,
+    mem_baseline: Option<String>,
+    mem_tolerance: f64,
 }
 
 impl Default for ProfileArgs {
@@ -90,6 +107,9 @@ impl Default for ProfileArgs {
             tolerance: 0.2,
             full: false,
             sequential: false,
+            mem_out: None,
+            mem_baseline: None,
+            mem_tolerance: 0.25,
         }
     }
 }
@@ -221,6 +241,25 @@ fn main() {
                 explain_args.trace = Some(value);
             }
             "--baseline" => profile_args.baseline = Some(value_of("--baseline")),
+            "--mem-out" => profile_args.mem_out = Some(value_of("--mem-out")),
+            "--mem-baseline" => profile_args.mem_baseline = Some(value_of("--mem-baseline")),
+            "--mem-tolerance" => {
+                let value = value_of("--mem-tolerance");
+                profile_args.mem_tolerance = match value.parse() {
+                    Ok(t) => t,
+                    Err(_) => {
+                        eprintln!("error: --mem-tolerance must be a number, got '{}'", value);
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--telemetry" => {
+                let value = value_of("--telemetry");
+                if let Err(e) = obs::telemetry::install(&value) {
+                    eprintln!("error: opening telemetry sink {}: {}", value, e);
+                    std::process::exit(2);
+                }
+            }
             "--svg" => explain_args.svg = Some(value_of("--svg")),
             "--faults" => {
                 let value = value_of("--faults");
@@ -308,10 +347,12 @@ fn main() {
     }
 }
 
-/// Writes a report via the shared atomic write-then-rename sink; a
-/// concurrent reader (or a SIGINT mid-write) never sees a torn file.
-fn write_report(path: &str, contents: &str) {
-    if let Err(e) = obs::atomic_write(path, contents) {
+/// Writes a report via the shared atomic write-then-rename sink (which
+/// also drops a `source:"report"` breadcrumb on the telemetry stream when
+/// one is installed); a concurrent reader (or a SIGINT mid-write) never
+/// sees a torn file.
+fn write_report(path: &str, what: &str, contents: &str) {
+    if let Err(e) = coflow_bench::sink::write_json_report(path, what, contents) {
         eprintln!("error: writing {}: {}", path, e);
         std::process::exit(1);
     }
@@ -389,7 +430,7 @@ fn chaos(seed: u64, args: &ChaosArgs) {
     };
     let mut report = run_chaos(&inst, &config);
     if obs::interrupted() {
-        write_report(&args.out, &render_chaos_json(&report));
+        write_report(&args.out, "chaos report (partial)", &render_chaos_json(&report));
         exit_if_interrupted(&args.out);
     }
     if args.windows > 0 {
@@ -401,7 +442,7 @@ fn chaos(seed: u64, args: &ChaosArgs) {
     }
     print!("{}", render_chaos(&report));
     let rendered = render_chaos_json(&report);
-    write_report(&args.out, &rendered);
+    write_report(&args.out, "chaos report", &rendered);
     println!("# chaos report written to {}", args.out);
     exit_if_interrupted(&args.out);
     // Close the loop: the report must satisfy its own validator.
@@ -415,7 +456,9 @@ fn chaos(seed: u64, args: &ChaosArgs) {
 }
 
 fn profile(seed: u64, args: &ProfileArgs) {
-    use coflow_bench::profile::{compare_reports, render_json, render_profile, run_profile};
+    use coflow_bench::profile::{
+        compare_mem, compare_reports, render_json, render_mem_json, render_profile, run_profile,
+    };
 
     let cfg = if args.full {
         // The paper's 150-rack cluster; solver budgets keep the H_LP cells
@@ -459,7 +502,7 @@ fn profile(seed: u64, args: &ProfileArgs) {
     }
 
     let rendered = render_json(&report);
-    write_report(&args.out, &rendered);
+    write_report(&args.out, "profile grid report", &rendered);
     println!("# per-stage report written to {}", args.out);
 
     if let Some(baseline_path) = &args.baseline {
@@ -493,6 +536,50 @@ fn profile(seed: u64, args: &ProfileArgs) {
         }
         if regressed {
             eprintln!("error: per-stage regression beyond tolerance");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(mem_out) = &args.mem_out {
+        write_report(mem_out, "memory report", &render_mem_json(&report));
+        println!("# memory report written to {}", mem_out);
+    }
+
+    if let Some(mem_baseline_path) = &args.mem_baseline {
+        let regen = format!(
+            "cargo run --release -p coflow-bench --bin experiments -- profile --mem-out {}",
+            mem_baseline_path
+        );
+        let baseline = read_baseline_file(mem_baseline_path, "memory baseline", &regen);
+        let current = render_mem_json(&report);
+        let deltas = match compare_mem(&baseline, &current, args.mem_tolerance) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!(
+                    "error: comparing against memory baseline {}: {}.\nRegenerate it with:\n    {}",
+                    mem_baseline_path, e, regen
+                );
+                std::process::exit(1);
+            }
+        };
+        let mut regressed = false;
+        println!(
+            "# memory comparison vs {} (tolerance +{:.0}%):",
+            mem_baseline_path,
+            args.mem_tolerance * 100.0
+        );
+        for d in &deltas {
+            println!(
+                "#   {:<24} {:>14.0} -> {:>14.0}  {}",
+                d.metric,
+                d.baseline,
+                d.current,
+                if d.regressed { "REGRESSED" } else { "ok" }
+            );
+            regressed |= d.regressed;
+        }
+        if regressed {
+            eprintln!("error: memory regression beyond tolerance");
             std::process::exit(1);
         }
     }
@@ -549,7 +636,7 @@ fn explain(seed: u64, args: &ExplainArgs) {
     obs::set_enabled(false);
     print!("{}", render_text(&report));
 
-    write_report(&args.out, &render_json(&report));
+    write_report(&args.out, "diagnostics report", &render_json(&report));
     println!("# diagnostics report written to {}", args.out);
 
     if let Some(svg_path) = &args.svg {
@@ -560,7 +647,7 @@ fn explain(seed: u64, args: &ExplainArgs) {
         let outcome =
             coflow::sched::run_with_order(&inst, order, att.grouping, att.backfill);
         let svg = coflow_netsim::render_svg_heatmap(&outcome.trace, 128);
-        write_report(svg_path, &svg);
+        write_report(svg_path, "port-utilization heatmap", &svg);
         println!("# port-utilization heatmap written to {}", svg_path);
     }
 
@@ -762,10 +849,12 @@ fn faults(seed: u64) {
     let rates = [0.0, 0.02, 0.05, 0.1, 0.2];
     let report = run_faults(&inst, &rates, seed, &lp_opts);
     print!("{}", render_faults(&report));
+    exit_if_interrupted("fault-sweep table (printed above)");
     // The engine-only policies (online fresh/stale, greedy) under the same
     // seeded plans — the combinations the unified engine made possible.
     let policies = run_fault_policies(&inst, &rates, seed);
     print!("{}", render_fault_policies(&policies));
+    exit_if_interrupted("fault-policy table (printed above)");
 }
 
 fn pin(seed: u64, args: &PinArgs) {
@@ -796,7 +885,7 @@ fn pin(seed: u64, args: &PinArgs) {
     print!("{}", render_pins(&report));
 
     if let Some(out) = &args.out {
-        write_report(out, &render_pins_json(&report));
+        write_report(out, "pin file", &render_pins_json(&report));
         println!("# pin file written to {}", out);
     }
 

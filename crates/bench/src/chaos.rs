@@ -122,6 +122,9 @@ pub struct ChaosReport {
     pub rounds: Vec<ChaosRound>,
     /// The adversarial search (when run).
     pub windows: Option<WindowReport>,
+    /// True when a SIGINT cut the run short: rounds may be missing and the
+    /// validator relaxes its policy-coverage check accordingly.
+    pub partial: bool,
 }
 
 /// Builds a fresh instance of the named chaos policy.
@@ -173,8 +176,10 @@ fn delivered_per_coflow(snapshot: &EngineSnapshot, n: usize) -> Vec<u64> {
 }
 
 /// Drives one policy run, killing and restoring at seeded-random epochs,
-/// checking invariants at every kill. Returns the round summary or the
-/// first invariant violation.
+/// checking invariants at every kill. Returns the round summary (or
+/// `Ok(None)` when a SIGINT abandoned the round mid-run — the partial
+/// report keeps the rounds already finished) or the first invariant
+/// violation.
 fn chaos_run(
     instance: &Instance,
     name: &str,
@@ -182,7 +187,7 @@ fn chaos_run(
     lp_opts: &SimplexOptions,
     kills: usize,
     seed: u64,
-) -> Result<ChaosRound, String> {
+) -> Result<Option<ChaosRound>, String> {
     let fail = |what: String| format!("policy {}: {}", name, what);
     let totals = initial_totals(instance);
     let n = instance.len();
@@ -204,6 +209,12 @@ fn chaos_run(
     let mut last_now = 0u64;
     let mut last_remaining = totals.clone();
     loop {
+        // SIGINT mid-round: abandon this round (its engine state is
+        // discardable) so the caller can write the partial report through
+        // the same atomic path as a completed one.
+        if obs::interrupted() {
+            return Ok(None);
+        }
         let more = engine
             .step(policy.as_mut())
             .map_err(|e| fail(format!("step failed: {}", e)))?;
@@ -211,8 +222,15 @@ fn chaos_run(
         if !more {
             break;
         }
+        // Count down only while kills remain: once the budget is spent the
+        // countdown is disarmed (decrementing past zero underflows in
+        // debug builds; release builds used to wrap silently, which
+        // happened to behave the same as disarming).
+        if performed >= kills {
+            continue;
+        }
         next_kill -= 1;
-        if next_kill == 0 && performed < kills {
+        if next_kill == 0 {
             performed += 1;
             next_kill = rng.gen_range(1..=6);
             let snapshot = engine
@@ -296,7 +314,7 @@ fn chaos_run(
         )));
     }
 
-    Ok(ChaosRound {
+    Ok(Some(ChaosRound {
         policy: name.to_string(),
         kills: performed,
         epochs,
@@ -304,7 +322,7 @@ fn chaos_run(
         objective: outcome.objective,
         replans: outcome.replans,
         bit_identical,
-    })
+    }))
 }
 
 /// Runs the kill harness over every policy in [`CHAOS_POLICIES`]. Panics
@@ -325,13 +343,28 @@ pub fn run_chaos(instance: &Instance, config: &ChaosConfig) -> ChaosReport {
         config.seed,
     );
     let mut rounds = Vec::with_capacity(CHAOS_POLICIES.len());
+    let mut partial = false;
     for name in CHAOS_POLICIES {
         // SIGINT: stop between rounds; the caller writes a partial report.
         if obs::interrupted() {
+            partial = true;
             break;
         }
+        if obs::telemetry::active() {
+            obs::telemetry::emit(&obs::telemetry::Sample {
+                source: "chaos",
+                label: name,
+                completed_coflows: rounds.len() as u64,
+                ..Default::default()
+            });
+        }
         match chaos_run(instance, name, &plan, &lp_opts, config.kills, config.seed) {
-            Ok(round) => rounds.push(round),
+            Ok(Some(round)) => rounds.push(round),
+            Ok(None) => {
+                // Interrupted mid-round: the abandoned round is dropped.
+                partial = true;
+                break;
+            }
             Err(e) => panic!("chaos invariant violated: {}", e),
         }
     }
@@ -339,6 +372,7 @@ pub fn run_chaos(instance: &Instance, config: &ChaosConfig) -> ChaosReport {
         config: *config,
         rounds,
         windows: None,
+        partial,
     }
 }
 
@@ -503,16 +537,10 @@ pub fn render_chaos(report: &ChaosReport) -> String {
 
 /// Serializes the report as `coflow-chaos/1` JSON.
 pub fn render_chaos_json(report: &ChaosReport) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": {},", json::quote(SCHEMA));
-    let _ = writeln!(out, "  \"seed\": {},", report.config.seed);
-    let _ = writeln!(out, "  \"kills\": {},", report.config.kills);
-    let _ = writeln!(out, "  \"fault_rate\": {},", fmt_f64(report.config.fault_rate));
-    out.push_str("  \"rounds\": [\n");
+    let mut rounds = String::from("[\n");
     for (i, r) in report.rounds.iter().enumerate() {
         let _ = write!(
-            out,
+            rounds,
             "    {{\"policy\": {}, \"kills\": {}, \"epochs\": {}, \"snapshot_bytes\": {}, \
              \"objective\": {}, \"objective_bits\": {}, \"replans\": {}, \"bit_identical\": {}}}",
             json::quote(&r.policy),
@@ -524,15 +552,22 @@ pub fn render_chaos_json(report: &ChaosReport) -> String {
             r.replans,
             r.bit_identical,
         );
-        out.push_str(if i + 1 < report.rounds.len() { ",\n" } else { "\n" });
+        rounds.push_str(if i + 1 < report.rounds.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ],\n");
+    rounds.push_str("  ]");
+    let mut doc = crate::sink::JsonDoc::new(SCHEMA);
+    doc.num("seed", report.config.seed)
+        .num("kills", report.config.kills)
+        .float("fault_rate", report.config.fault_rate)
+        .num("partial", report.partial)
+        .raw("rounds", rounds);
     match &report.windows {
-        None => out.push_str("  \"windows\": null\n"),
+        None => doc.raw("windows", "null"),
         Some(w) => {
-            let _ = writeln!(
+            let mut out = String::new();
+            let _ = write!(
                 out,
-                "  \"windows\": {{\n    \"ports\": {},\n    \"window\": {},\n    \"worst_start\": {},\n    \"worst_inflation\": {},\n    \"cells\": [",
+                "{{\n    \"ports\": {},\n    \"window\": {},\n    \"worst_start\": {},\n    \"worst_inflation\": {},\n    \"cells\": [\n",
                 w.ports,
                 w.window,
                 w.worst_start,
@@ -548,11 +583,11 @@ pub fn render_chaos_json(report: &ChaosReport) -> String {
                 );
                 out.push_str(if i + 1 < w.cells.len() { ",\n" } else { "\n" });
             }
-            out.push_str("    ]\n  }\n");
+            out.push_str("    ]\n  }");
+            doc.raw("windows", out)
         }
-    }
-    out.push_str("}\n");
-    out
+    };
+    doc.render()
 }
 
 fn chaos_num(v: &JsonValue) -> Option<f64> {
@@ -565,7 +600,8 @@ fn chaos_num(v: &JsonValue) -> Option<f64> {
 /// Validates a serialized `coflow-chaos/1` report:
 ///
 /// * the schema tag matches and every policy in [`CHAOS_POLICIES`] has a
-///   round;
+///   round — unless `"partial": true` (a SIGINT cut the run short), in
+///   which case missing policies are tolerated and the summary says so;
 /// * every round is bit-identical (a `false` means the crash-safety
 ///   contract is broken) with `epochs >= 1` and a non-empty snapshot when
 ///   any kill was performed;
@@ -622,12 +658,18 @@ pub fn validate_chaos_json(text: &str) -> Result<String, String> {
         }
         seen.push(policy);
     }
-    for required in CHAOS_POLICIES {
-        if !seen.iter().any(|s| s == required) {
-            return Err(format!("policy '{}' missing from report", required));
+    let partial = matches!(doc.get("partial"), Some(JsonValue::Bool(true)));
+    if !partial {
+        for required in CHAOS_POLICIES {
+            if !seen.iter().any(|s| s == required) {
+                return Err(format!("policy '{}' missing from report", required));
+            }
         }
     }
     let mut summary = format!("{} rounds, all bit-identical", seen.len());
+    if partial {
+        summary.push_str(", partial (interrupted)");
+    }
     if let Some(w) = doc.get("windows") {
         if !matches!(w, JsonValue::Null) {
             let Some(JsonValue::Arr(cells)) = w.get("cells") else {
@@ -724,9 +766,40 @@ mod tests {
             )
             .rounds,
             windows: Some(windows),
+            partial: false,
         };
         let text = render_chaos_json(&report);
         let summary = validate_chaos_json(&text).expect("valid report with windows");
         assert!(summary.contains("adversarial windows"));
+    }
+
+    #[test]
+    fn partial_report_tolerates_missing_policies() {
+        let inst = tiny();
+        let full = run_chaos(
+            &inst,
+            &ChaosConfig {
+                kills: 1,
+                seed: 9,
+                fault_rate: 0.2,
+            },
+        );
+        // A report truncated after the first round (as a SIGINT between
+        // rounds would leave it) validates only when flagged partial.
+        let truncated = ChaosReport {
+            config: full.config,
+            rounds: full.rounds[..1].to_vec(),
+            windows: None,
+            partial: false,
+        };
+        let text = render_chaos_json(&truncated);
+        assert!(validate_chaos_json(&text).is_err());
+        let partial = ChaosReport {
+            partial: true,
+            ..truncated
+        };
+        let text = render_chaos_json(&partial);
+        let summary = validate_chaos_json(&text).expect("partial report validates");
+        assert!(summary.contains("partial (interrupted)"));
     }
 }

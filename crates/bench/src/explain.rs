@@ -204,20 +204,11 @@ fn write_anomalies(out: &mut String, diag: &ScheduleDiagnostics, indent: &str) {
     out.push(']');
 }
 
-/// Serializes the report as `coflow-diagnostics/1` JSON.
+/// Serializes the report as `coflow-diagnostics/1` JSON. The exact byte
+/// layout is pinned by the golden test, so the body sections are rendered
+/// as raw fragments and only the header goes through [`JsonDoc`].
 pub fn render_json(report: &ExplainReport) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": {},", json::quote(SCHEMA));
-    let _ = writeln!(out, "  \"seed\": {},", report.seed);
-    let _ = writeln!(out, "  \"ports\": {},", report.ports);
-    let _ = writeln!(out, "  \"coflows\": {},", report.coflows);
-    let _ = writeln!(
-        out,
-        "  \"lp_lower_bound\": {},",
-        fmt_f64(report.lp_lower_bound)
-    );
-    out.push_str("  \"cells\": [\n");
+    let mut out = String::from("[\n");
     for (idx, cell) in report.cells.iter().enumerate() {
         let d = &cell.diag;
         let (p50, p95, max) = ratio_quantiles(d);
@@ -276,11 +267,12 @@ pub fn render_json(report: &ExplainReport) -> String {
             "    }\n"
         });
     }
-    out.push_str("  ],\n");
+    out.push_str("  ]");
+    let cells = out;
 
     // Full per-coflow attribution for the paper's Algorithm 2 cell.
     let att = report.attribution_cell();
-    out.push_str("  \"attribution\": {\n");
+    let mut out = String::from("{\n");
     let _ = writeln!(out, "    \"order\": {},", json::quote(att.order.name()));
     let _ = writeln!(
         out,
@@ -313,23 +305,33 @@ pub fn render_json(report: &ExplainReport) -> String {
             "\n"
         });
     }
-    out.push_str("    ]\n  },\n");
+    out.push_str("    ]\n  }");
+    let attribution = out;
 
-    match &report.faults {
-        None => out.push_str("  \"faults\": null\n"),
+    let faults = match &report.faults {
+        None => "null".to_string(),
         Some(f) => {
-            out.push_str("  \"faults\": {\n");
+            let mut out = String::from("{\n");
             let _ = writeln!(out, "    \"rate\": {},", fmt_f64(f.rate));
             let _ = writeln!(out, "    \"events\": {},", f.events);
             let _ = writeln!(out, "    \"replans\": {},", f.replans);
             let _ = writeln!(out, "    \"blocked_units\": {},", f.blocked_units);
             let _ = writeln!(out, "    \"cancelled\": {},", f.cancelled);
             write_anomalies(&mut out, &f.diag, "    ");
-            out.push_str("\n  }\n");
+            out.push_str("\n  }");
+            out
         }
-    }
-    out.push_str("}\n");
-    out
+    };
+
+    let mut doc = crate::sink::JsonDoc::new(SCHEMA);
+    doc.num("seed", report.seed)
+        .num("ports", report.ports)
+        .num("coflows", report.coflows)
+        .float("lp_lower_bound", report.lp_lower_bound)
+        .raw("cells", cells)
+        .raw("attribution", attribution)
+        .raw("faults", faults);
+    doc.render()
 }
 
 /// Plain-text rendering (stdout-friendly).

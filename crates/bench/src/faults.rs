@@ -59,7 +59,9 @@ pub struct FaultReport {
 /// Runs the fault sweep on `instance` with `H_LP` case (d) under
 /// `lp_opts`. `rates` are fault probabilities per port/coflow (see
 /// [`FaultPlan::generate`]); each rate gets its own deterministic plan
-/// derived from `seed`.
+/// derived from `seed`. A SIGINT (see [`obs::interrupted`]) stops the
+/// sweep after the in-flight rate cell; the truncated report is still
+/// well-formed.
 pub fn run_faults(
     instance: &Instance,
     rates: &[f64],
@@ -79,10 +81,14 @@ pub fn run_faults(
     let horizon = baseline.outcome.makespan().max(1);
     let fault_free_objective = baseline.outcome.objective;
 
-    let cells = rates
-        .iter()
-        .enumerate()
-        .map(|(i, &rate)| {
+    let mut cells = Vec::with_capacity(rates.len());
+    for (i, &rate) in rates.iter().enumerate() {
+        // SIGINT: finish the in-flight rate cell, then stop the sweep so
+        // the caller can print the partial table and exit 130.
+        if obs::interrupted() {
+            break;
+        }
+        cells.push({
             let plan = FaultPlan::generate(
                 instance.ports(),
                 instance.len(),
@@ -125,8 +131,8 @@ pub fn run_faults(
                 baseline_objective,
                 inflation,
             }
-        })
-        .collect();
+        });
+    }
 
     FaultReport {
         spec,
@@ -257,13 +263,20 @@ pub fn run_fault_policies(instance: &Instance, rates: &[f64], seed: u64) -> Poli
         }
     };
 
-    let policies = baselines
-        .iter()
-        .map(|(name, baseline)| {
-            let cells = rates
-                .iter()
-                .enumerate()
-                .map(|(i, &rate)| {
+    let mut policies = Vec::with_capacity(baselines.len());
+    for (name, baseline) in baselines.iter() {
+        // SIGINT: stop before the next policy row; the partial report
+        // still renders and the harness exits 130.
+        if obs::interrupted() {
+            break;
+        }
+        {
+            let mut cells = Vec::with_capacity(rates.len());
+            for (i, &rate) in rates.iter().enumerate() {
+                if obs::interrupted() {
+                    break;
+                }
+                cells.push({
                     let plan = FaultPlan::generate(
                         instance.ports(),
                         instance.len(),
@@ -301,15 +314,15 @@ pub fn run_fault_policies(instance: &Instance, rates: &[f64], seed: u64) -> Poli
                         baseline_objective,
                         inflation,
                     }
-                })
-                .collect();
-            PolicyFaultRows {
+                });
+            }
+            policies.push(PolicyFaultRows {
                 policy: name,
                 fault_free_objective: baseline.objective,
                 cells,
-            }
-        })
-        .collect();
+            });
+        }
+    }
 
     PolicyFaultReport { seed, policies }
 }
@@ -349,11 +362,7 @@ pub fn render_fault_policies(report: &PolicyFaultReport) -> String {
 
 /// Serializes the policy table as `coflow-fault-policies/1` JSON.
 pub fn render_policies_json(report: &PolicyFaultReport) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": {},", json::quote(POLICIES_SCHEMA));
-    let _ = writeln!(out, "  \"seed\": {},", report.seed);
-    out.push_str("  \"policies\": [\n");
+    let mut out = String::from("[\n");
     for (pi, rows) in report.policies.iter().enumerate() {
         out.push_str("    {\n");
         let _ = writeln!(out, "      \"name\": {},", json::quote(rows.policy));
@@ -387,8 +396,10 @@ pub fn render_policies_json(report: &PolicyFaultReport) -> String {
             "    }\n"
         });
     }
-    out.push_str("  ]\n}\n");
-    out
+    out.push_str("  ]");
+    let mut doc = crate::sink::JsonDoc::new(POLICIES_SCHEMA);
+    doc.num("seed", report.seed).raw("policies", out);
+    doc.render()
 }
 
 fn policy_num_f64(v: &JsonValue) -> Option<f64> {

@@ -30,6 +30,7 @@ pub mod pins;
 pub mod profile;
 pub mod ratios;
 pub mod report;
+pub mod sink;
 pub mod table1;
 
 use coflow_workloads::TraceConfig;

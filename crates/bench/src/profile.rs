@@ -30,7 +30,16 @@ use crate::grid::{case_label, CASES};
 /// the stages sum to `total`; under the parallel decomposition path,
 /// `decompose` is CPU time summed across workers and the stage sum may
 /// exceed the wall-clock `total`.
-pub const SCHEMA: &str = "coflow-bench-grid/2";
+///
+/// `/3` adds a per-cell `mem` object from the counting allocator: peak
+/// live bytes and kernel peak RSS for the cell window, allocation
+/// calls/bytes for the whole cell, and exclusive per-stage allocation
+/// attribution (same nearest-reported-ancestor rule as the timings).
+pub const SCHEMA: &str = "coflow-bench-grid/3";
+
+/// Schema tag of the standalone memory report consumed by
+/// `scripts/check-mem.sh` (see [`render_mem_json`] / [`compare_mem`]).
+pub const MEM_SCHEMA: &str = "coflow-bench-mem/1";
 
 /// The pipeline stages extracted from span leaf names, in report order.
 /// `decompose` sums the greedy and max-min BvN variants.
@@ -95,6 +104,43 @@ impl StageTimings {
     }
 }
 
+/// The stages carrying per-stage allocation attribution (the measured
+/// pipeline stages; `other`/`total` remain timing-only).
+pub const MEM_STAGES: [&str; 5] = ["lp_build", "lp_solve", "order", "decompose", "simulate"];
+
+/// Allocator view of one cell: whole-cell deltas plus exclusive per-stage
+/// attribution, indexed like [`MEM_STAGES`].
+#[derive(Clone, Debug, Default)]
+pub struct CellMem {
+    /// High-water mark of live bytes inside the cell window.
+    pub peak_live_bytes: u64,
+    /// Kernel peak RSS (`VmHWM`, kB) at cell end; 0 when unavailable.
+    /// Monotone per process — compare across runs, not across cells.
+    pub peak_rss_kb: u64,
+    /// Allocation calls during the cell.
+    pub alloc_calls: u64,
+    /// Bytes allocated during the cell.
+    pub alloc_bytes: u64,
+    /// Exclusive allocation calls per stage ([`MEM_STAGES`] order).
+    pub stage_allocs: [u64; 5],
+    /// Exclusive allocated bytes per stage ([`MEM_STAGES`] order).
+    pub stage_alloc_bytes: [u64; 5],
+}
+
+impl CellMem {
+    /// Stage allocation calls by report name.
+    pub fn allocs(&self, stage: &str) -> u64 {
+        let i = MEM_STAGES.iter().position(|s| *s == stage);
+        i.map(|i| self.stage_allocs[i]).unwrap_or(0)
+    }
+
+    /// Stage allocated bytes by report name.
+    pub fn bytes(&self, stage: &str) -> u64 {
+        let i = MEM_STAGES.iter().position(|s| *s == stage);
+        i.map(|i| self.stage_alloc_bytes[i]).unwrap_or(0)
+    }
+}
+
 /// One profiled grid cell.
 #[derive(Clone, Debug)]
 pub struct ProfiledCell {
@@ -110,6 +156,8 @@ pub struct ProfiledCell {
     pub makespan: u64,
     /// Per-stage wall-clock.
     pub stages: StageTimings,
+    /// Allocator accounting for the cell.
+    pub mem: CellMem,
     /// Every counter the cell recorded, sorted by name.
     pub counters: Vec<(String, u64)>,
 }
@@ -145,6 +193,8 @@ pub fn run_profile(
     for &rule in &OrderRule::PAPER_RULES {
         for &(grouping, backfill) in &CASES {
             obs::reset();
+            obs::alloc::reset_peak();
+            let mem_before = obs::alloc::stats();
             obs::set_enabled(true);
             let cell_start = Instant::now();
             let order = match try_compute_order_with(instance, rule, lp_opts) {
@@ -160,6 +210,47 @@ pub fn run_profile(
             let total_ms = cell_start.elapsed().as_secs_f64() * 1e3;
             let snap = obs::snapshot();
             obs::set_enabled(false);
+            let mem = {
+                let mem_after = &snap.alloc;
+                let stage_mem = |leaf: &str| snap.span_mem_self(leaf, &REPORTED_LEAVES);
+                let (lp_build_a, lp_build_b) = stage_mem("lp.build_model");
+                let (lp_solve_a, lp_solve_b) = stage_mem("lp.solve");
+                let (order_a, order_b) = stage_mem("sched.order");
+                let (dec_a, dec_b) = stage_mem("matching.bvn_decompose");
+                let (decm_a, decm_b) = stage_mem("matching.bvn_decompose_maxmin");
+                let (sim_a, sim_b) = stage_mem("sched.simulate");
+                let clamp = |x: i64| x.max(0) as u64;
+                CellMem {
+                    peak_live_bytes: mem_after.peak_live_bytes,
+                    peak_rss_kb: snap.peak_rss_kb.unwrap_or(0),
+                    alloc_calls: mem_after.alloc_calls.saturating_sub(mem_before.alloc_calls),
+                    alloc_bytes: mem_after.alloc_bytes.saturating_sub(mem_before.alloc_bytes),
+                    stage_allocs: [
+                        clamp(lp_build_a),
+                        clamp(lp_solve_a),
+                        clamp(order_a),
+                        clamp(dec_a + decm_a),
+                        clamp(sim_a),
+                    ],
+                    stage_alloc_bytes: [
+                        clamp(lp_build_b),
+                        clamp(lp_solve_b),
+                        clamp(order_b),
+                        clamp(dec_b + decm_b),
+                        clamp(sim_b),
+                    ],
+                }
+            };
+            if obs::telemetry::active() {
+                let label = format!("{}/{}", rule.name(), case_label(grouping, backfill));
+                obs::telemetry::emit(&obs::telemetry::Sample {
+                    source: "profile",
+                    label: &label,
+                    epoch: cells.len() as u64,
+                    completed_coflows: instance.len() as u64,
+                    ..Default::default()
+                });
+            }
             cells.push(ProfiledCell {
                 order: rule,
                 grouping,
@@ -187,6 +278,7 @@ pub fn run_profile(
                         total_ms,
                     }
                 },
+                mem,
                 counters: {
                     let mut counters = snap.counters;
                     // Zero-delta counters are never registered (e.g. a
@@ -208,56 +300,107 @@ pub fn run_profile(
     }
 }
 
-/// Serializes `report` as `coflow-bench-grid/2` JSON.
-pub fn render_json(report: &ProfileReport) -> String {
+/// Renders the `mem` object of one cell (shared by the grid and mem
+/// reports; `indent` is the continuation-line indentation).
+fn render_cell_mem(mem: &CellMem) -> String {
     let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": {},", json::quote(SCHEMA));
-    let _ = writeln!(out, "  \"seed\": {},", report.seed);
-    let _ = writeln!(out, "  \"ports\": {},", report.ports);
-    let _ = writeln!(out, "  \"coflows\": {},", report.coflows);
-    out.push_str("  \"cells\": [\n");
+    let _ = write!(
+        out,
+        "{{\"peak_live_bytes\": {}, \"peak_rss_kb\": {}, \"alloc_calls\": {}, \
+         \"alloc_bytes\": {}, ",
+        mem.peak_live_bytes, mem.peak_rss_kb, mem.alloc_calls, mem.alloc_bytes,
+    );
+    out.push_str("\"stage_allocs\": {");
+    for (i, stage) in MEM_STAGES.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {}", json::quote(stage), mem.stage_allocs[i]);
+    }
+    out.push_str("}, \"stage_alloc_bytes\": {");
+    for (i, stage) in MEM_STAGES.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {}", json::quote(stage), mem.stage_alloc_bytes[i]);
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Serializes `report` as `coflow-bench-grid/3` JSON.
+pub fn render_json(report: &ProfileReport) -> String {
+    let mut cells = String::from("[\n");
     for (idx, cell) in report.cells.iter().enumerate() {
-        out.push_str("    {\n");
-        let _ = writeln!(out, "      \"order\": {},", json::quote(cell.order.name()));
+        cells.push_str("    {\n");
+        let _ = writeln!(cells, "      \"order\": {},", json::quote(cell.order.name()));
         let _ = writeln!(
-            out,
+            cells,
             "      \"case\": {},",
             json::quote(case_label(cell.grouping, cell.backfill))
         );
-        let _ = writeln!(out, "      \"grouping\": {},", cell.grouping);
-        let _ = writeln!(out, "      \"backfill\": {},", cell.backfill);
-        let _ = writeln!(out, "      \"objective\": {},", fmt_f64(cell.objective));
-        let _ = writeln!(out, "      \"makespan\": {},", cell.makespan);
-        out.push_str("      \"stages_ms\": {");
+        let _ = writeln!(cells, "      \"grouping\": {},", cell.grouping);
+        let _ = writeln!(cells, "      \"backfill\": {},", cell.backfill);
+        let _ = writeln!(cells, "      \"objective\": {},", fmt_f64(cell.objective));
+        let _ = writeln!(cells, "      \"makespan\": {},", cell.makespan);
+        cells.push_str("      \"stages_ms\": {");
         for (i, stage) in STAGES.iter().enumerate() {
             if i > 0 {
-                out.push_str(", ");
+                cells.push_str(", ");
             }
             let _ = write!(
-                out,
+                cells,
                 "{}: {}",
                 json::quote(stage),
                 fmt_f64(cell.stages.get(stage))
             );
         }
-        out.push_str("},\n");
-        out.push_str("      \"counters\": {");
+        cells.push_str("},\n");
+        let _ = writeln!(cells, "      \"mem\": {},", render_cell_mem(&cell.mem));
+        cells.push_str("      \"counters\": {");
         for (i, (name, value)) in cell.counters.iter().enumerate() {
             if i > 0 {
-                out.push_str(", ");
+                cells.push_str(", ");
             }
-            let _ = write!(out, "{}: {}", json::quote(name), value);
+            let _ = write!(cells, "{}: {}", json::quote(name), value);
         }
-        out.push_str("}\n");
-        out.push_str(if idx + 1 < report.cells.len() {
+        cells.push_str("}\n");
+        cells.push_str(if idx + 1 < report.cells.len() {
             "    },\n"
         } else {
             "    }\n"
         });
     }
-    out.push_str("  ]\n}\n");
-    out
+    cells.push_str("  ]");
+    let mut doc = crate::sink::JsonDoc::new(SCHEMA);
+    doc.num("seed", report.seed)
+        .num("ports", report.ports)
+        .num("coflows", report.coflows)
+        .raw("cells", cells);
+    doc.render()
+}
+
+/// Serializes the memory view of `report` as `coflow-bench-mem/1` JSON —
+/// the committed `BENCH_mem.json` baseline format.
+pub fn render_mem_json(report: &ProfileReport) -> String {
+    let mut cells = String::from("[\n");
+    for (idx, cell) in report.cells.iter().enumerate() {
+        let _ = write!(
+            cells,
+            "    {{\"order\": {}, \"case\": {}, \"mem\": {}}}",
+            json::quote(cell.order.name()),
+            json::quote(case_label(cell.grouping, cell.backfill)),
+            render_cell_mem(&cell.mem),
+        );
+        cells.push_str(if idx + 1 < report.cells.len() { ",\n" } else { "\n" });
+    }
+    cells.push_str("  ]");
+    let mut doc = crate::sink::JsonDoc::new(MEM_SCHEMA);
+    doc.num("seed", report.seed)
+        .num("ports", report.ports)
+        .num("coflows", report.coflows)
+        .raw("cells", cells);
+    doc.render()
 }
 
 fn num_f64(v: &JsonValue) -> Option<f64> {
@@ -361,6 +504,111 @@ pub fn compare_reports(
         .collect())
 }
 
+/// One metric row from [`compare_mem`].
+#[derive(Clone, Debug)]
+pub struct MemDelta {
+    /// Metric name (e.g. `allocs:lp_solve`, `peak_live_bytes(max)`).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// True when this metric breaches the tolerance.
+    pub regressed: bool,
+}
+
+/// Allocation-count noise floor: metrics moving by fewer calls than this
+/// are never flagged (a handful of extra boxes is not a leak signal).
+pub const MEM_ALLOC_FLOOR: f64 = 10_000.0;
+
+/// Byte noise floor (1 MiB): byte metrics moving by less are never
+/// flagged.
+pub const MEM_BYTES_FLOOR: f64 = 1024.0 * 1024.0;
+
+/// Extracts the gated memory metrics from a parsed mem report: per-stage
+/// allocation calls and bytes summed across cells, whole-run allocation
+/// totals, and the max per-cell peak live bytes. Peak RSS is reported but
+/// never gated — it is monotone per process and machine-dependent.
+fn mem_metrics(doc: &JsonValue) -> Result<Vec<(String, f64)>, String> {
+    let Some(JsonValue::Arr(cells)) = doc.get("cells") else {
+        return Err("report has no 'cells' array".to_string());
+    };
+    if cells.is_empty() {
+        return Err("report has no cells".to_string());
+    }
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    for stage in MEM_STAGES {
+        metrics.push((format!("allocs:{}", stage), 0.0));
+        metrics.push((format!("alloc_bytes:{}", stage), 0.0));
+    }
+    metrics.push(("alloc_calls(total)".to_string(), 0.0));
+    metrics.push(("alloc_bytes(total)".to_string(), 0.0));
+    metrics.push(("peak_live_bytes(max)".to_string(), 0.0));
+    for cell in cells {
+        let Some(mem) = cell.get("mem") else {
+            return Err("cell has no 'mem' object".to_string());
+        };
+        let num = |obj: &JsonValue, key: &str| -> Result<f64, String> {
+            obj.get(key)
+                .and_then(num_f64)
+                .ok_or_else(|| format!("mem field '{}' missing or non-numeric", key))
+        };
+        let allocs = mem.get("stage_allocs").ok_or("mem missing 'stage_allocs'")?;
+        let bytes = mem
+            .get("stage_alloc_bytes")
+            .ok_or("mem missing 'stage_alloc_bytes'")?;
+        for (i, stage) in MEM_STAGES.iter().enumerate() {
+            metrics[2 * i].1 += num(allocs, stage)?;
+            metrics[2 * i + 1].1 += num(bytes, stage)?;
+        }
+        let base = MEM_STAGES.len() * 2;
+        metrics[base].1 += num(mem, "alloc_calls")?;
+        metrics[base + 1].1 += num(mem, "alloc_bytes")?;
+        let peak = num(mem, "peak_live_bytes")?;
+        if peak > metrics[base + 2].1 {
+            metrics[base + 2].1 = peak;
+        }
+    }
+    Ok(metrics)
+}
+
+/// Compares two serialized `coflow-bench-mem/1` reports metric by metric.
+/// A metric regresses when the current value exceeds the baseline by more
+/// than `tolerance` (fractional) *and* the absolute growth clears the
+/// metric's noise floor ([`MEM_ALLOC_FLOOR`] for call counts,
+/// [`MEM_BYTES_FLOOR`] for byte metrics).
+pub fn compare_mem(
+    baseline: &str,
+    current: &str,
+    tolerance: f64,
+) -> Result<Vec<MemDelta>, String> {
+    let base_doc = json::parse(baseline).map_err(|e| format!("baseline: {}", e))?;
+    let cur_doc = json::parse(current).map_err(|e| format!("current: {}", e))?;
+    for (label, doc) in [("baseline", &base_doc), ("current", &cur_doc)] {
+        match doc.get("schema") {
+            Some(JsonValue::Str(s)) if s == MEM_SCHEMA => {}
+            other => {
+                return Err(format!(
+                    "{}: unsupported schema {:?} (expected {})",
+                    label, other, MEM_SCHEMA
+                ))
+            }
+        }
+    }
+    let base = mem_metrics(&base_doc).map_err(|e| format!("baseline: {}", e))?;
+    let cur = mem_metrics(&cur_doc).map_err(|e| format!("current: {}", e))?;
+    Ok(base
+        .into_iter()
+        .zip(cur)
+        .map(|((metric, baseline), (_, current))| {
+            let floor = if metric.contains("bytes") { MEM_BYTES_FLOOR } else { MEM_ALLOC_FLOOR };
+            let regressed = current > baseline * (1.0 + tolerance)
+                && current - baseline > floor;
+            MemDelta { metric, baseline, current, regressed }
+        })
+        .collect())
+}
+
 /// Plain-text table of a profile run (stderr-friendly progress report).
 pub fn render_profile(report: &ProfileReport) -> String {
     let mut out = String::new();
@@ -371,14 +619,15 @@ pub fn render_profile(report: &ProfileReport) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<6} {:<4} {:>12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "{:<6} {:<4} {:>12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "order", "case", "objective", "lp_build", "lp_solve", "order", "decomp", "simulate",
-        "other", "total"
+        "other", "total", "peakMiB", "allocs"
     );
     for c in &report.cells {
         let _ = writeln!(
             out,
-            "{:<6} {:<4} {:>12.0} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            "{:<6} {:<4} {:>12.0} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} \
+             {:>9.1} {:>9}",
             c.order.name(),
             case_label(c.grouping, c.backfill),
             c.objective,
@@ -389,6 +638,8 @@ pub fn render_profile(report: &ProfileReport) -> String {
             c.stages.simulate_ms,
             c.stages.other_ms,
             c.stages.total_ms,
+            c.mem.peak_live_bytes as f64 / (1024.0 * 1024.0),
+            c.mem.alloc_calls,
         );
     }
     out
@@ -515,5 +766,66 @@ mod tests {
         let report = render_json(&tiny_report());
         let err = compare_reports("{\"schema\": \"other/9\", \"cells\": []}", &report, 0.2);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn cells_carry_allocator_accounting() {
+        let report = tiny_report();
+        for cell in &report.cells {
+            // Every cell schedules something, so it must allocate.
+            assert!(cell.mem.alloc_calls > 0, "cell recorded no allocations");
+            assert!(cell.mem.alloc_bytes > 0);
+            assert!(cell.mem.peak_live_bytes > 0);
+            // Stage attribution never exceeds the whole cell.
+            let stage_total: u64 = cell.mem.stage_allocs.iter().sum();
+            assert!(
+                stage_total <= cell.mem.alloc_calls,
+                "stage allocs {} exceed cell total {}",
+                stage_total,
+                cell.mem.alloc_calls
+            );
+            // Simulation allocates in every cell (trace growth).
+            assert!(cell.mem.allocs("simulate") > 0);
+        }
+        if cfg!(target_os = "linux") {
+            assert!(report.cells.iter().all(|c| c.mem.peak_rss_kb > 0));
+        }
+    }
+
+    #[test]
+    fn mem_report_round_trips_and_self_compares_clean() {
+        let report = tiny_report();
+        let rendered = render_mem_json(&report);
+        let doc = json::parse(&rendered).expect("mem JSON must parse");
+        assert_eq!(doc.get("schema"), Some(&JsonValue::Str(MEM_SCHEMA.to_string())));
+        let deltas = compare_mem(&rendered, &rendered, 0.25).expect("compare");
+        assert_eq!(deltas.len(), MEM_STAGES.len() * 2 + 3);
+        assert!(deltas.iter().all(|d| !d.regressed));
+        // The grid report embeds the same mem object per cell.
+        let grid = json::parse(&render_json(&report)).expect("grid JSON");
+        let Some(JsonValue::Arr(cells)) = grid.get("cells") else { panic!("cells") };
+        assert!(cells.iter().all(|c| c.get("mem").is_some()));
+    }
+
+    #[test]
+    fn mem_comparison_flags_growth_above_floor_and_tolerance() {
+        let report = tiny_report();
+        let baseline = render_mem_json(&report);
+        let mut grown = report.clone();
+        for cell in &mut grown.cells {
+            cell.mem.alloc_calls = cell.mem.alloc_calls * 3 + 100_000;
+            cell.mem.stage_allocs[4] = cell.mem.stage_allocs[4] * 3 + 100_000;
+        }
+        let current = render_mem_json(&grown);
+        let deltas = compare_mem(&baseline, &current, 0.25).expect("compare");
+        let total = deltas.iter().find(|d| d.metric == "alloc_calls(total)").unwrap();
+        assert!(total.regressed, "3x + 100k calls/cell must breach 25% + floor");
+        let sim = deltas.iter().find(|d| d.metric == "allocs:simulate").unwrap();
+        assert!(sim.regressed);
+        // Byte metrics did not move; they stay green.
+        let bytes = deltas.iter().find(|d| d.metric == "alloc_bytes(total)").unwrap();
+        assert!(!bytes.regressed);
+        // Foreign schemas are rejected.
+        assert!(compare_mem("{\"schema\": \"other/9\", \"cells\": []}", &current, 0.25).is_err());
     }
 }

@@ -40,6 +40,7 @@ use coflow_matching::{bvn_decompose, BvnDecomposition, IntMatrix, MatchingSlot, 
 use coflow_netsim::{Fabric, FaultPlan, FaultSim, ScheduleTrace, SimError};
 use rayon::prelude::*;
 use std::fmt;
+use std::time::Instant;
 
 /// A failure inside an engine run: either the policy could not produce a
 /// decision ([`SchedError`]) or the fault simulator rejected one as
@@ -226,6 +227,94 @@ pub trait Policy {
     }
 }
 
+/// Aggregated progress of a run at one decision epoch, feeding the bounded
+/// `obs` time series and the NDJSON telemetry stream.
+struct Progress {
+    residual_units: u64,
+    active_coflows: u64,
+    completed_coflows: u64,
+}
+
+/// Progress over a clean fabric: O(n) over cached per-coflow remainders.
+fn fabric_progress(fabric: &Fabric, releases: &[u64]) -> Progress {
+    let now = fabric.now();
+    let mut p = Progress { residual_units: 0, active_coflows: 0, completed_coflows: 0 };
+    for (k, c) in fabric.completion_times().iter().enumerate() {
+        let rem = fabric.remaining_total(k);
+        p.residual_units += rem;
+        if c.is_some() {
+            p.completed_coflows += 1;
+        } else if rem > 0 && releases.get(k).copied().unwrap_or(0) <= now {
+            p.active_coflows += 1;
+        }
+    }
+    p
+}
+
+/// Progress over the fault simulator; cancelled coflows are neither active
+/// nor completed and their stranded demand is excluded from the residual.
+fn sim_progress(sim: &FaultSim, releases: &[u64]) -> Progress {
+    let now = sim.now();
+    let mut p = Progress { residual_units: 0, active_coflows: 0, completed_coflows: 0 };
+    for (k, c) in sim.completion_times().iter().enumerate() {
+        if sim.is_cancelled(k) {
+            continue;
+        }
+        let rem = sim.remaining_total(k);
+        p.residual_units += rem;
+        if c.is_some() {
+            p.completed_coflows += 1;
+        } else if rem > 0 && releases.get(k).copied().unwrap_or(0) <= now {
+            p.active_coflows += 1;
+        }
+    }
+    p
+}
+
+/// True when per-epoch progress should be sampled at all; one or two
+/// relaxed loads, safe to evaluate every decision.
+#[inline]
+fn progress_wanted() -> bool {
+    obs::enabled() || obs::telemetry::active()
+}
+
+/// Records one progress sample: the five bounded per-epoch series
+/// (residual demand, active coflows, replans, allocator live bytes, epoch
+/// wall-clock) plus one NDJSON heartbeat when a telemetry sink is
+/// installed. `epoch_ms` is the wall-clock since the caller's previous
+/// sample.
+fn emit_progress(
+    source: &'static str,
+    label: &str,
+    now: u64,
+    progress: &Progress,
+    replans: u64,
+    decisions: u64,
+    epoch_ms: f64,
+) {
+    obs::series_record("engine.residual_units", now, progress.residual_units as f64);
+    obs::series_record("engine.active_coflows", now, progress.active_coflows as f64);
+    obs::series_record("engine.replans", now, replans as f64);
+    obs::series_record("engine.live_bytes", now, obs::alloc::stats().live_bytes as f64);
+    obs::series_record("engine.epoch_ms", now, epoch_ms);
+    obs::telemetry::emit(&obs::telemetry::Sample {
+        source,
+        label,
+        epoch: now,
+        residual_units: progress.residual_units,
+        active_coflows: progress.active_coflows,
+        completed_coflows: progress.completed_coflows,
+        replans,
+        decisions,
+    });
+}
+
+/// Decision cadence for progress samples on the clean engine, which has no
+/// planning epochs to hook: every 128th decision (plus the first and the
+/// final state) keeps telemetry line counts bounded on big traces while
+/// still heartbeating several times per second on realistic instances.
+const CLEAN_SAMPLE_EVERY: u64 = 128;
+
 /// Runs `policy` to completion on a clean fabric.
 ///
 /// Returns [`SchedError`] only when the policy itself fails or answers with
@@ -241,6 +330,7 @@ pub fn run_policy<P: Policy + ?Sized>(
     let releases = instance.releases();
     let mut fabric = Fabric::new(instance.ports(), &demands, &releases);
     let mut decisions: u64 = 0;
+    let mut last_beat = Instant::now();
     while !fabric.all_done() {
         let decision = policy.decide(&EpochState {
             now: fabric.now(),
@@ -248,6 +338,20 @@ pub fn run_policy<P: Policy + ?Sized>(
             exec: ExecRef::Clean(&fabric),
         })?;
         decisions += 1;
+        if decisions % CLEAN_SAMPLE_EVERY == 1 && progress_wanted() {
+            let beat = Instant::now();
+            let epoch_ms = beat.saturating_duration_since(last_beat).as_secs_f64() * 1e3;
+            last_beat = beat;
+            emit_progress(
+                "engine",
+                policy.name(),
+                fabric.now(),
+                &fabric_progress(&fabric, &releases),
+                0,
+                decisions,
+                epoch_ms,
+            );
+        }
         match decision {
             Decision::Advance(t) => fabric.advance_to(t),
             Decision::Run { pairs, duration } => {
@@ -270,6 +374,19 @@ pub fn run_policy<P: Policy + ?Sized>(
     }
     policy.finish();
     obs::counter_add("coflow.engine.decisions", decisions);
+    if progress_wanted() {
+        let epoch_ms =
+            Instant::now().saturating_duration_since(last_beat).as_secs_f64() * 1e3;
+        emit_progress(
+            "engine",
+            policy.name(),
+            fabric.now(),
+            &fabric_progress(&fabric, &releases),
+            0,
+            decisions,
+            epoch_ms,
+        );
+    }
     assert!(
         fabric.all_done(),
         "engine: policy '{}' finished with undelivered demand (scheduler bug)",
@@ -328,6 +445,11 @@ pub struct Engine<'a> {
     tiers: Vec<usize>,
     last_window: Option<usize>,
     decisions: u64,
+    /// Release dates, cached for progress sampling.
+    releases: Vec<u64>,
+    /// Wall-clock of the previous progress sample. Not part of snapshots:
+    /// telemetry timing restarts at restore, the schedule does not care.
+    last_beat: Instant,
 }
 
 impl<'a> Engine<'a> {
@@ -347,6 +469,8 @@ impl<'a> Engine<'a> {
             tiers: Vec::new(),
             last_window: None,
             decisions: 0,
+            releases: instance.releases(),
+            last_beat: Instant::now(),
         }
     }
 
@@ -375,6 +499,28 @@ impl<'a> Engine<'a> {
         &self.sim
     }
 
+    /// Samples progress at a planning epoch: every replan produces one
+    /// series point per tracked metric and (when a sink is installed) one
+    /// NDJSON heartbeat — the "≥ 1 line per decision-epoch window"
+    /// guarantee of the telemetry schema.
+    fn sample_progress(&mut self, label: &str) {
+        if !progress_wanted() {
+            return;
+        }
+        let beat = Instant::now();
+        let epoch_ms = beat.saturating_duration_since(self.last_beat).as_secs_f64() * 1e3;
+        self.last_beat = beat;
+        emit_progress(
+            "engine.faults",
+            label,
+            self.sim.now(),
+            &sim_progress(&self.sim, &self.releases),
+            self.replans as u64,
+            self.decisions,
+            epoch_ms,
+        );
+    }
+
     /// Runs one decision epoch: consults the policy and applies its
     /// decision. Returns `Ok(false)` when the run is over (all demand
     /// settled, or the policy declared [`Decision::Finished`]) and
@@ -395,6 +541,7 @@ impl<'a> Engine<'a> {
                 self.replans += 1;
                 self.tiers.push(policy.tier());
                 obs::counter_add("coflow.recovery.epochs", 1);
+                self.sample_progress(policy.name());
                 // Execute until the fault state next changes (needing
                 // ≥ 1 slot of progress), or to the end of the plan when
                 // it never does again.
@@ -411,6 +558,7 @@ impl<'a> Engine<'a> {
                     self.replans += 1;
                     self.tiers.push(policy.tier());
                     obs::counter_add("coflow.recovery.epochs", 1);
+                    self.sample_progress(policy.name());
                 }
                 step_pairs(&mut self.sim, &pairs, duration)?;
                 policy.recycle(pairs);
@@ -424,9 +572,10 @@ impl<'a> Engine<'a> {
     /// Finalizes the run: releases policy resources, flushes the decision
     /// counter, and assembles the [`FaultyOutcome`] exactly as
     /// [`run_policy_with_faults`] does.
-    pub fn into_outcome<P: Policy + ?Sized>(self, policy: &mut P) -> FaultyOutcome {
+    pub fn into_outcome<P: Policy + ?Sized>(mut self, policy: &mut P) -> FaultyOutcome {
         policy.finish();
         obs::counter_add("coflow.engine.decisions", self.decisions);
+        self.sample_progress(policy.name());
         debug_assert!(
             self.sim.all_settled(),
             "engine: policy '{}' finished with unsettled coflows",
@@ -498,6 +647,8 @@ impl<'a> Engine<'a> {
                 tiers: snapshot.tiers,
                 last_window: snapshot.last_window,
                 decisions: snapshot.decisions,
+                releases: instance.releases(),
+                last_beat: Instant::now(),
             },
             policy,
         ))

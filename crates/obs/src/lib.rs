@@ -26,18 +26,28 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod alloc;
 mod atomic;
 mod error;
 mod hist;
 pub mod interrupt;
 pub mod json;
+pub mod series;
 mod sink;
+pub mod telemetry;
 
 pub use atomic::atomic_write;
 pub use error::ObsError;
 pub use hist::{bucket_bounds, bucket_index, Histogram, NUM_BUCKETS};
 pub use interrupt::{install_sigint_handler, interrupted, SIGINT_EXIT_CODE};
+pub use series::Series;
 pub use sink::{render_chrome_trace, render_chrome_trace_full};
+
+/// Workspace-wide counting allocator: every crate linking `obs` (directly
+/// or transitively) gets live/peak byte accounting for free. See
+/// [`alloc::stats`] and [`alloc::peak_rss_kb`].
+#[global_allocator]
+static GLOBAL_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -113,11 +123,24 @@ impl SpanStat {
     }
 }
 
+/// Aggregate allocation statistics for one span path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStat {
+    /// Allocation calls made on the span's thread during occurrences.
+    pub allocs: u64,
+    /// Bytes allocated on the span's thread during occurrences.
+    pub bytes: u64,
+    /// Max of process live bytes observed during any occurrence.
+    pub peak_live_bytes: u64,
+}
+
 struct Inner {
     epoch: Instant,
     counters: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, Histogram>,
     span_agg: BTreeMap<String, SpanStat>,
+    span_mem: BTreeMap<String, MemStat>,
+    series: BTreeMap<&'static str, Series>,
     events: Vec<SpanEvent>,
     events_dropped: u64,
     instants: Vec<InstantEvent>,
@@ -131,6 +154,8 @@ impl Inner {
             counters: BTreeMap::new(),
             histograms: BTreeMap::new(),
             span_agg: BTreeMap::new(),
+            span_mem: BTreeMap::new(),
+            series: BTreeMap::new(),
             events: Vec::new(),
             events_dropped: 0,
             instants: Vec::new(),
@@ -200,6 +225,19 @@ pub fn record_value(name: &'static str, value: u64) {
     inner.histograms.entry(name).or_default().record(value);
 }
 
+/// Appends `(epoch, value)` to the bounded time series `name` (created on
+/// first use with [`series::DEFAULT_CAPACITY`]). Decimation keeps memory
+/// O(capacity) on arbitrarily long runs; see [`Series`]. No-op while
+/// disabled.
+#[inline]
+pub fn series_record(name: &'static str, epoch: u64, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut inner = locked();
+    inner.series.entry(name).or_default().push(epoch, value);
+}
+
 /// Dense 1-based id for the current thread, assigned on first use.
 fn thread_id() -> u64 {
     THREAD_ID.with(|id| {
@@ -225,6 +263,7 @@ pub fn instant(name: &'static str) {
         inner.instants.push(InstantEvent { name, tid, ts_us: ts.as_micros() as u64 });
     } else {
         inner.instants_dropped += 1;
+        *inner.counters.entry("obs.trace.instants_dropped").or_insert(0) += 1;
     }
 }
 
@@ -235,6 +274,7 @@ pub fn instant(name: &'static str) {
 pub struct SpanGuard {
     start: Option<Instant>,
     name: &'static str,
+    mem: Option<alloc::MemSpanStart>,
 }
 
 /// Opens a span named `name` on the current thread, nested under any spans
@@ -243,10 +283,10 @@ pub struct SpanGuard {
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
     if !enabled() {
-        return SpanGuard { start: None, name };
+        return SpanGuard { start: None, name, mem: None };
     }
     SPAN_STACK.with(|s| s.borrow_mut().push(name));
-    SpanGuard { start: Some(Instant::now()), name }
+    SpanGuard { start: Some(Instant::now()), name, mem: Some(alloc::span_enter()) }
 }
 
 impl Drop for SpanGuard {
@@ -255,6 +295,7 @@ impl Drop for SpanGuard {
             return;
         };
         let dur = start.elapsed();
+        let mem = self.mem.take().map(alloc::span_exit);
         let path = SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();
             // LIFO in the common case; otherwise drop the most recent
@@ -276,6 +317,12 @@ impl Drop for SpanGuard {
         let agg = inner.span_agg.entry(path.clone()).or_default();
         agg.count += 1;
         agg.total_ns = agg.total_ns.saturating_add(dur.as_nanos() as u64);
+        if let Some(delta) = mem {
+            let m = inner.span_mem.entry(path.clone()).or_default();
+            m.allocs += delta.allocs;
+            m.bytes += delta.bytes;
+            m.peak_live_bytes = m.peak_live_bytes.max(delta.peak_live_bytes);
+        }
         if inner.events.len() < MAX_EVENTS {
             inner.events.push(SpanEvent {
                 path,
@@ -284,7 +331,10 @@ impl Drop for SpanGuard {
                 dur_us: dur.as_micros() as u64,
             });
         } else {
+            // Surface the overflow as a counter so reports (not just the
+            // summary footer) record that the flame view is truncated.
             inner.events_dropped += 1;
+            *inner.counters.entry("obs.trace.events_dropped").or_insert(0) += 1;
         }
     }
 }
@@ -298,6 +348,14 @@ pub struct Snapshot {
     pub histograms: BTreeMap<String, Histogram>,
     /// Span aggregates by `/`-joined path.
     pub spans: BTreeMap<String, SpanStat>,
+    /// Per-span allocation aggregates by `/`-joined path.
+    pub span_mem: BTreeMap<String, MemStat>,
+    /// Bounded time series by name.
+    pub series: BTreeMap<String, Series>,
+    /// Process-wide allocator counters at snapshot time.
+    pub alloc: alloc::AllocStats,
+    /// Kernel peak RSS (`VmHWM`, kB) at snapshot time; `None` off-Linux.
+    pub peak_rss_kb: Option<u64>,
     /// Raw span events (capped; see `events_dropped`).
     pub events: Vec<SpanEvent>,
     /// Events discarded after the buffer cap was reached.
@@ -358,6 +416,46 @@ impl Snapshot {
         total
     }
 
+    /// Exclusive allocation calls and bytes for spans whose leaf is
+    /// `name`, relative to `reported` leaves — the memory analogue of
+    /// [`span_self_ms`](Snapshot::span_self_ms): each reported leaf's
+    /// allocations are attributed to the innermost reported stage.
+    pub fn span_mem_self(&self, name: &str, reported: &[&str]) -> (i64, i64) {
+        let mut allocs = 0i64;
+        let mut bytes = 0i64;
+        for (path, stat) in &self.span_mem {
+            let mut segs = path.split('/').rev();
+            let Some(leaf) = segs.next() else {
+                continue;
+            };
+            if !reported.contains(&leaf) {
+                continue;
+            }
+            if leaf == name {
+                allocs += stat.allocs as i64;
+                bytes += stat.bytes as i64;
+            }
+            if let Some(ancestor) = segs.find(|s| reported.contains(s)) {
+                if ancestor == name {
+                    allocs -= stat.allocs as i64;
+                    bytes -= stat.bytes as i64;
+                }
+            }
+        }
+        (allocs, bytes)
+    }
+
+    /// Max peak-live bytes over every path whose innermost name equals
+    /// `name`.
+    pub fn span_peak_live(&self, name: &str) -> u64 {
+        self.span_mem
+            .iter()
+            .filter(|(path, _)| path.rsplit('/').next() == Some(name))
+            .map(|(_, stat)| stat.peak_live_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Occurrence count over every path whose innermost name equals
     /// `name`.
     pub fn span_count(&self, name: &str) -> u64 {
@@ -380,6 +478,10 @@ pub fn snapshot() -> Snapshot {
             .map(|(&k, v)| (k.to_string(), v.clone()))
             .collect(),
         spans: inner.span_agg.clone(),
+        span_mem: inner.span_mem.clone(),
+        series: inner.series.iter().map(|(&k, v)| (k.to_string(), v.clone())).collect(),
+        alloc: alloc::stats(),
+        peak_rss_kb: alloc::peak_rss_kb(),
         events: inner.events.clone(),
         events_dropped: inner.events_dropped,
         instants: inner.instants.clone(),

@@ -118,6 +118,13 @@ pub fn render_summary(snap: &Snapshot) -> String {
             );
         }
     }
+    if snap.instants_dropped > 0 {
+        let _ = writeln!(
+            out,
+            "  ({} instant markers dropped past the buffer cap)",
+            snap.instants_dropped
+        );
+    }
     if !snap.counters.is_empty() {
         out.push_str("counters:\n");
         for (name, value) in &snap.counters {
@@ -138,6 +145,38 @@ pub fn render_summary(snap: &Snapshot) -> String {
                 h.mean().unwrap_or(0.0),
             );
         }
+    }
+    if !snap.series.is_empty() {
+        out.push_str("series (len/cap, 2x decimations, first -> last):\n");
+        for (name, s) in &snap.series {
+            let fmt = |p: Option<(u64, f64)>| match p {
+                Some((e, v)) => format!("({}, {:.1})", e, v),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  {:<38} {:>4}/{:<4} {:>3}x {} -> {}",
+                name,
+                s.len(),
+                s.capacity(),
+                s.decimations(),
+                fmt(s.first()),
+                fmt(s.last()),
+            );
+        }
+    }
+    if snap.alloc.alloc_calls > 0 {
+        let mb = |b: u64| b as f64 / (1024.0 * 1024.0);
+        let _ = writeln!(
+            out,
+            "memory: live {:.1} MiB, peak live {:.1} MiB, {} allocs{}",
+            mb(snap.alloc.live_bytes),
+            mb(snap.alloc.peak_live_bytes),
+            snap.alloc.alloc_calls,
+            snap.peak_rss_kb
+                .map(|kb| format!(", peak RSS {:.1} MiB", kb as f64 / 1024.0))
+                .unwrap_or_default(),
+        );
     }
     if out.is_empty() {
         out.push_str("(no observability data recorded)\n");

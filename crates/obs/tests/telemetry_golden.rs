@@ -1,0 +1,107 @@
+//! Golden test for the `coflow-telemetry/1` NDJSON stream: a fixed set of
+//! heartbeats (spanning the emitting sources, zero/large values, and a
+//! label needing JSON escaping) must render byte-for-byte as the committed
+//! golden file, and the rendered stream must satisfy the in-repo
+//! validator. Regenerate intentionally with `GOLDEN_UPDATE=1`.
+
+use obs::telemetry::{render_line, validate_line, validate_stream, Heartbeat};
+
+fn heartbeats() -> Vec<Heartbeat> {
+    vec![
+        // First line of a fresh sink: everything at its floor.
+        Heartbeat {
+            seq: 0,
+            elapsed_ms: 0,
+            source: "engine".to_string(),
+            label: "resilient".to_string(),
+            epoch: 0,
+            residual_units: 181_204,
+            active_coflows: 12,
+            completed_coflows: 0,
+            replans: 0,
+            decisions: 1,
+            epoch_ms: 0.0,
+            live_bytes: 1_048_576,
+            peak_live_bytes: 1_048_576,
+            alloc_calls: 2_048,
+            peak_rss_kb: 0,
+        },
+        // Mid-run fault-engine sample with a fractional epoch_ms.
+        Heartbeat {
+            seq: 17,
+            elapsed_ms: 4_312,
+            source: "engine.faults".to_string(),
+            label: "online".to_string(),
+            epoch: 961,
+            residual_units: 44_710,
+            active_coflows: 7,
+            completed_coflows: 5,
+            replans: 3,
+            decisions: 240,
+            epoch_ms: 12.25,
+            live_bytes: 9_437_184,
+            peak_live_bytes: 11_534_336,
+            alloc_calls: 1_220_440,
+            peak_rss_kb: 48_120,
+        },
+        // Report breadcrumb whose label needs escaping.
+        Heartbeat {
+            seq: 18,
+            elapsed_ms: 4_400,
+            source: "report".to_string(),
+            label: "chaos report -> \"out\"/BENCH_chaos.json".to_string(),
+            epoch: 0,
+            residual_units: 0,
+            active_coflows: 0,
+            completed_coflows: 0,
+            replans: 0,
+            decisions: 0,
+            epoch_ms: 88.0,
+            live_bytes: 2_097_152,
+            peak_live_bytes: 11_534_336,
+            alloc_calls: 1_221_000,
+            peak_rss_kb: 48_120,
+        },
+        // Final line: u64 extremes survive the round-trip.
+        Heartbeat {
+            seq: 19,
+            elapsed_ms: u64::MAX,
+            source: "profile".to_string(),
+            label: "H_LP/G+B".to_string(),
+            epoch: 11,
+            residual_units: u64::MAX,
+            active_coflows: 0,
+            completed_coflows: 150,
+            replans: 1,
+            decisions: u64::MAX,
+            epoch_ms: 0.125,
+            live_bytes: 0,
+            peak_live_bytes: u64::MAX,
+            alloc_calls: u64::MAX,
+            peak_rss_kb: 1,
+        },
+    ]
+}
+
+#[test]
+fn telemetry_stream_matches_golden() {
+    let rendered: String = heartbeats().iter().map(render_line).collect();
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::write(
+            concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/telemetry.ndjson"),
+            &rendered,
+        )
+        .unwrap();
+    }
+    let golden = include_str!("golden/telemetry.ndjson");
+    assert_eq!(
+        rendered, golden,
+        "telemetry NDJSON output drifted from the golden file; \
+         run with GOLDEN_UPDATE=1 to regenerate intentionally"
+    );
+    // The golden stream must satisfy the validator the scripts rely on.
+    assert_eq!(validate_stream(golden), Ok(heartbeats().len() as u64));
+    for line in golden.lines() {
+        validate_line(line).expect("every golden line is self-contained");
+    }
+}

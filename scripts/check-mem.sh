@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# CI memory gate, wired next to check-perf.sh: profile the 12-cell grid in
+# release mode with the counting allocator enabled and fail when any
+# per-stage allocation metric (calls or bytes, attributed via the obs span
+# registry) or the peak live-heap high-water mark regresses more than
+# MEM_TOLERANCE (default +25%) against the committed BENCH_mem.json.
+# Metrics below the noise floors (10k calls / 1 MiB) never gate; peak RSS
+# is reported in the JSON but never gated — it is machine-dependent.
+#
+# Usage:
+#   scripts/check-mem.sh                    # gate at the default +25%
+#   MEM_TOLERANCE=0.5 scripts/check-mem.sh  # looser gate for shared boxes
+set -eu
+cd "$(dirname "$0")/.."
+
+BASELINE="${MEM_BASELINE:-BENCH_mem.json}"
+
+# Fail fast, with the regeneration command, before any expensive run.
+if [ ! -s "$BASELINE" ]; then
+    echo "error: memory baseline '$BASELINE' is missing or empty." >&2
+    echo "Regenerate it with:" >&2
+    echo "    cargo run --release -p coflow-bench --bin experiments -- profile --mem-out $BASELINE" >&2
+    exit 1
+fi
+
+cargo run --release -q -p coflow-bench --bin experiments -- \
+    profile --mem-baseline "$BASELINE" --mem-tolerance "${MEM_TOLERANCE:-0.25}" "$@"

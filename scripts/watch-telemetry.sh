@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# Live viewer for a coflow-telemetry/1 NDJSON stream: follow the file a
+# run is appending to (experiments --telemetry PATH, coflow-cli
+# --telemetry PATH) and print one human-readable line per heartbeat.
+# Pure POSIX sh + awk — no jq dependency; the stream's flat
+# one-line-per-object layout makes field extraction a regex match.
+#
+# Usage:
+#   scripts/watch-telemetry.sh telemetry.ndjson
+#   scripts/watch-telemetry.sh telemetry.ndjson --no-follow   # print & exit
+set -eu
+
+if [ "${1:-}" = "" ]; then
+    echo "usage: scripts/watch-telemetry.sh PATH [--no-follow]" >&2
+    exit 2
+fi
+FILE="$1"
+FOLLOW=1
+[ "${2:-}" = "--no-follow" ] && FOLLOW=0
+
+FORMAT='
+function field(key,    m) {
+    if (match($0, "\"" key "\": \"[^\"]*\"")) {
+        m = substr($0, RSTART, RLENGTH)
+        sub("\"" key "\": \"", "", m); sub("\"$", "", m)
+        return m
+    }
+    if (match($0, "\"" key "\": [0-9.eE+-]+")) {
+        m = substr($0, RSTART, RLENGTH)
+        sub("\"" key "\": ", "", m)
+        return m
+    }
+    return "-"
+}
+/"schema": "coflow-telemetry\/1"/ {
+    mib = field("live_bytes") / 1048576.0
+    printf "%6.1fs  #%-5s %-12s %-24s epoch %-8s residual %-10s active %-4s replans %-4s %6.1f MiB live\n", \
+        field("elapsed_ms") / 1000.0, field("seq"), field("source"), \
+        substr(field("label"), 1, 24), field("epoch"), \
+        field("residual_units"), field("active_coflows"), \
+        field("replans"), mib
+    fflush()
+}
+'
+
+if [ "$FOLLOW" = 1 ]; then
+    # -n +1: show history from the start, then keep following.
+    tail -n +1 -f "$FILE" | awk "$FORMAT"
+else
+    awk "$FORMAT" < "$FILE"
+fi

@@ -4,7 +4,7 @@
 //! coflow-cli <trace.{json,csv}> [--ports N] [--order H_A|H_rho|H_LP|H_size]
 //!            [--no-group] [--no-backfill] [--rematch] [--online]
 //!            [--online-stale] [--greedy] [--analyze] [--explain]
-//!            [--emit-json] [--profile] [--trace-out PATH]
+//!            [--emit-json] [--profile] [--trace-out PATH] [--telemetry PATH]
 //! coflow-cli --generate <n> [--ports N] [--seed S]   # print a trace as CSV
 //! ```
 //!
@@ -16,6 +16,12 @@
 //! `--profile` enables the `obs` registry and prints the span/counter
 //! summary tree to stderr after scheduling; `--trace-out PATH` additionally
 //! writes a `chrome://tracing`-compatible JSON view (implies `--profile`).
+//!
+//! `--telemetry PATH` appends streaming `coflow-telemetry/1` NDJSON
+//! heartbeats (decision epochs, residual demand, live allocator bytes) to
+//! PATH while the scheduler runs; each line is flushed as it is written, so
+//! the stream stays valid NDJSON across a SIGINT. Watch it live with
+//! `scripts/watch-telemetry.sh PATH`.
 //!
 //! `--explain` solves the interval-indexed LP and prints per-coflow
 //! forensics — realized completion vs `C̄_k`, the wait/service split, and
@@ -48,6 +54,7 @@ struct Args {
     emit_json: bool,
     profile: bool,
     trace_out: Option<String>,
+    telemetry: Option<String>,
     generate: Option<usize>,
     seed: u64,
 }
@@ -58,6 +65,7 @@ fn usage() -> ! {
          [--order H_A|H_rho|H_LP|H_size] [--no-group] [--no-backfill] \
          [--rematch] [--online] [--online-stale] [--greedy] [--analyze] \
          [--explain] [--emit-json] [--profile] [--trace-out PATH]\n\
+         \x20      [--telemetry PATH]\n\
          \x20      coflow-cli --generate <n> [--ports N] [--seed S]"
     );
     exit(2)
@@ -79,6 +87,7 @@ fn parse_args() -> Args {
         emit_json: false,
         profile: false,
         trace_out: None,
+        telemetry: None,
         generate: None,
         seed: 2015,
     };
@@ -115,6 +124,11 @@ fn parse_args() -> Args {
                 args.trace_out =
                     Some(argv.get(i).unwrap_or_else(|| usage()).to_string());
                 args.profile = true;
+            }
+            "--telemetry" => {
+                i += 1;
+                args.telemetry =
+                    Some(argv.get(i).unwrap_or_else(|| usage()).to_string());
             }
             "--generate" => {
                 i += 1;
@@ -194,6 +208,12 @@ fn main() {
         instance.ports()
     );
 
+    if let Some(telemetry_path) = &args.telemetry {
+        if let Err(e) = obs::telemetry::install(telemetry_path) {
+            eprintln!("cannot open telemetry sink {}: {}", telemetry_path, e);
+            exit(2);
+        }
+    }
     if args.profile {
         obs::set_enabled(true);
     }
