@@ -11,7 +11,33 @@
 //! experiments pin [--out PATH] [--check PATH] [--tolerance F] [--seed N]
 //! experiments chaos [--kills N] [--windows N] [--faults RATE]
 //!                   [--out PATH] [--validate PATH] [--seed N]
+//! experiments diff [A] [B] [--tolerance F] [--out PATH] [--ledger PATH]
+//! experiments report [--out dash.html] [--ledger PATH]
+//! experiments verdict --gate NAME [--status pass|fail] [--verdict K=V]...
+//!                     [--note STR] [--ledger PATH]
 //! ```
+//!
+//! Every workload subcommand appends one self-contained `coflow-ledger/1`
+//! record to the run ledger (default `LEDGER.ndjson`; `--ledger PATH` or
+//! `COFLOW_LEDGER` overrides, `--ledger none` disables): command, seed,
+//! config fingerprint, git provenance, per-stage wall-clock and
+//! allocation attribution, peak RSS, per-cell objectives, and gate
+//! verdicts. Ledger appends are non-fatal — a read-only checkout still
+//! runs every experiment.
+//!
+//! `diff A B` compares two runs. `A`/`B` are ledger selectors (`latest`,
+//! `prev`, `~N`, `#SEQ`, `green`) or paths to committed reports
+//! (`coflow-bench-grid/3`, `coflow-bench-mem/1`, `coflow-pins/1`); the
+//! default is `prev latest`. It prints a per-metric table, optionally
+//! writes a `coflow-diff/1` document (`--out`), and exits 1 on any
+//! regression past `--tolerance` (default 0.5; objectives are bit-exact
+//! regardless of tolerance) — so it doubles as a gate.
+//!
+//! `report` renders the whole ledger as a self-contained HTML dashboard
+//! (inline CSS + SVG, no external assets): per-stage trend sparklines,
+//! memory trajectories, objective comparison tables, gate-verdict
+//! history. `verdict` appends a gate outcome record; the
+//! `scripts/check-*.sh` gates call it on exit.
 //!
 //! `--telemetry PATH` (any subcommand) installs the streaming NDJSON sink:
 //! one self-contained `coflow-telemetry/1` line per heartbeat appended (and
@@ -179,13 +205,22 @@ impl Default for ExplainArgs {
 
 fn main() {
     obs::install_sigint_handler();
+    let started = std::time::Instant::now();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut which = "all".to_string();
+    let mut which: Option<String> = None;
+    let mut extras: Vec<String> = Vec::new();
     let mut seed: u64 = 2015;
     let mut profile_args = ProfileArgs::default();
     let mut explain_args = ExplainArgs::default();
     let mut pin_args = PinArgs::default();
     let mut chaos_args = ChaosArgs::default();
+    let mut ledger_flag: Option<String> = None;
+    let mut out_flag: Option<String> = None;
+    let mut tolerance_flag: Option<f64> = None;
+    let mut gate_flag: Option<String> = None;
+    let mut status_flag: Option<String> = None;
+    let mut note_flag = String::new();
+    let mut verdict_kvs: Vec<(String, String)> = Vec::new();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         let mut value_of = |flag: &str| -> String {
@@ -213,7 +248,22 @@ fn main() {
                 profile_args.out = value.clone();
                 explain_args.out = value.clone();
                 chaos_args.out = value.clone();
-                pin_args.out = Some(value);
+                pin_args.out = Some(value.clone());
+                out_flag = Some(value);
+            }
+            "--ledger" => ledger_flag = Some(value_of("--ledger")),
+            "--gate" => gate_flag = Some(value_of("--gate")),
+            "--status" => status_flag = Some(value_of("--status")),
+            "--note" => note_flag = value_of("--note"),
+            "--verdict" => {
+                let value = value_of("--verdict");
+                match value.split_once('=') {
+                    Some((k, v)) => verdict_kvs.push((k.to_string(), v.to_string())),
+                    None => {
+                        eprintln!("error: --verdict needs KEY=VALUE, got '{}'", value);
+                        std::process::exit(2);
+                    }
+                }
             }
             "--kills" => {
                 let value = value_of("--kills");
@@ -305,12 +355,23 @@ fn main() {
                 };
                 profile_args.tolerance = parsed;
                 pin_args.tolerance = parsed;
+                tolerance_flag = Some(parsed);
             }
             "--full" => profile_args.full = true,
             "--sequential" => profile_args.sequential = true,
-            other => which = other.to_string(),
+            other => {
+                // First positional selects the subcommand; the rest are
+                // subcommand operands (the diff sides).
+                if which.is_none() {
+                    which = Some(other.to_string());
+                } else {
+                    extras.push(other.to_string());
+                }
+            }
         }
     }
+    let which = which.unwrap_or_else(|| "all".to_string());
+    let ledger = coflow_bench::ledger::ledger_path(ledger_flag.as_deref());
 
     match which.as_str() {
         "table1" => table1(seed),
@@ -322,10 +383,19 @@ fn main() {
         "integrality" => integrality(seed),
         "arrivals" => arrivals(seed),
         "faults" => faults(seed),
-        "profile" => profile(seed, &profile_args),
+        "profile" => profile(seed, &profile_args, &ledger, started),
         "explain" => explain(seed, &explain_args),
-        "pin" => pin(seed, &pin_args),
+        "pin" => pin(seed, &pin_args, &ledger, started),
         "chaos" => chaos(seed, &chaos_args),
+        "diff" => diff_cmd(&extras, tolerance_flag, &ledger, out_flag.as_deref()),
+        "report" => report_cmd(&ledger, out_flag.as_deref()),
+        "verdict" => verdict_cmd(
+            gate_flag.as_deref(),
+            status_flag.as_deref(),
+            verdict_kvs,
+            &note_flag,
+            &ledger,
+        ),
         "all" => {
             table1(seed);
             fig2a(seed);
@@ -339,12 +409,164 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{}'; expected table1|fig2a|fig2b|lpexp|ratios|gridsweep|integrality|arrivals|faults|profile|explain|pin|chaos|all",
+                "unknown experiment '{}'; expected table1|fig2a|fig2b|lpexp|ratios|gridsweep|integrality|arrivals|faults|profile|explain|pin|chaos|diff|report|verdict|all",
                 other
             );
             std::process::exit(2);
         }
     }
+
+    // The simple experiment subcommands record a base run entry (workload
+    // identity + wall-clock + memory marks); profile and pin append their
+    // own enriched records above, and diff/report/verdict are not runs.
+    if matches!(
+        which.as_str(),
+        "table1"
+            | "fig2a"
+            | "fig2b"
+            | "lpexp"
+            | "ratios"
+            | "gridsweep"
+            | "integrality"
+            | "arrivals"
+            | "faults"
+            | "explain"
+            | "chaos"
+            | "all"
+    ) {
+        let mut rec = coflow_bench::ledger::base_record(&which, "", seed, "");
+        rec.elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
+        append_ledger(&ledger, rec);
+    }
+}
+
+/// Appends one record to the run ledger, warning (never failing) on I/O
+/// trouble: observability must not take an experiment down.
+fn append_ledger(ledger: &Option<String>, mut rec: obs::ledger::LedgerRecord) {
+    let Some(path) = ledger else { return };
+    match obs::ledger::append(path, &mut rec) {
+        Ok(seq) => println!("# ledger: appended {} record seq {} to {}", rec.kind, seq, path),
+        Err(e) => eprintln!("warning: ledger append failed: {}", e),
+    }
+}
+
+/// Resolves one side of a diff: an existing file path is parsed as a
+/// committed report; anything else is a ledger selector.
+fn diff_side(
+    spec: &str,
+    ledger: &Option<String>,
+    cache: &mut Option<Vec<obs::ledger::LedgerRecord>>,
+) -> coflow_bench::diff::DiffSide {
+    use coflow_bench::diff::{side_from_path, DiffSide};
+    if std::path::Path::new(spec).is_file() {
+        match side_from_path(spec) {
+            Ok(side) => return side,
+            Err(e) => {
+                eprintln!("error: {}", e);
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(path) = ledger else {
+        eprintln!("error: ledger disabled and '{}' is not a report file", spec);
+        std::process::exit(2);
+    };
+    if cache.is_none() {
+        match obs::ledger::load(path) {
+            Ok(records) => *cache = Some(records),
+            Err(e) => {
+                eprintln!("error: {}", e);
+                std::process::exit(2);
+            }
+        }
+    }
+    let records = cache.as_ref().map(|r| r.as_slice()).unwrap_or(&[]);
+    match coflow_bench::ledger::select(records, spec) {
+        Ok(rec) => DiffSide::from_record(rec, spec),
+        Err(e) => {
+            eprintln!("error: {}: {}", path, e);
+            std::process::exit(2);
+        }
+    }
+}
+
+fn diff_cmd(
+    extras: &[String],
+    tolerance_flag: Option<f64>,
+    ledger: &Option<String>,
+    out: Option<&str>,
+) {
+    use coflow_bench::diff::{diff_sides, render_diff_json, render_diff_table, DEFAULT_TOLERANCE};
+    let tolerance = tolerance_flag.unwrap_or(DEFAULT_TOLERANCE);
+    let a_spec = extras.first().map(String::as_str).unwrap_or("prev");
+    let b_spec = extras.get(1).map(String::as_str).unwrap_or("latest");
+    let mut cache = None;
+    let a = diff_side(a_spec, ledger, &mut cache);
+    let b = diff_side(b_spec, ledger, &mut cache);
+    let report = diff_sides(&a, &b, tolerance);
+    print!("{}", render_diff_table(&report));
+    if let Some(out) = out {
+        write_report(out, "diff report", &render_diff_json(&report, &a.schema, &b.schema));
+        println!("# diff report written to {}", out);
+    }
+    if !report.regressions().is_empty() {
+        std::process::exit(1);
+    }
+}
+
+fn report_cmd(ledger: &Option<String>, out: Option<&str>) {
+    let Some(path) = ledger else {
+        eprintln!("error: report needs a ledger (--ledger PATH)");
+        std::process::exit(2);
+    };
+    let records = match obs::ledger::load(path) {
+        Ok(r) if !r.is_empty() => r,
+        Ok(_) => {
+            eprintln!("error: ledger {} holds no records yet", path);
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: {}", e);
+            std::process::exit(1);
+        }
+    };
+    let title = format!("Coflow run ledger — {}", path);
+    let html = coflow_bench::dash::render_dash(&records, &title);
+    let out = out.unwrap_or("dash.html");
+    if let Err(e) = obs::atomic_write(out, &html) {
+        eprintln!("error: {}", e);
+        std::process::exit(1);
+    }
+    println!(
+        "# dashboard over {} ledger records written to {}",
+        records.len(),
+        out
+    );
+}
+
+fn verdict_cmd(
+    gate: Option<&str>,
+    status: Option<&str>,
+    mut kvs: Vec<(String, String)>,
+    note: &str,
+    ledger: &Option<String>,
+) {
+    let Some(gate) = gate else {
+        eprintln!("error: verdict needs --gate NAME");
+        std::process::exit(2);
+    };
+    if let Some(status) = status {
+        if status != "pass" && status != "fail" {
+            eprintln!("error: --status must be pass or fail, got '{}'", status);
+            std::process::exit(2);
+        }
+        kvs.push(("status".to_string(), status.to_string()));
+    }
+    if kvs.is_empty() {
+        eprintln!("error: verdict needs --status or at least one --verdict K=V");
+        std::process::exit(2);
+    }
+    append_ledger(ledger, coflow_bench::ledger::verdict_record(gate, kvs, note));
 }
 
 /// Writes a report via the shared atomic write-then-rename sink (which
@@ -455,7 +677,12 @@ fn chaos(seed: u64, args: &ChaosArgs) {
     }
 }
 
-fn profile(seed: u64, args: &ProfileArgs) {
+fn profile(
+    seed: u64,
+    args: &ProfileArgs,
+    ledger: &Option<String>,
+    started: std::time::Instant,
+) {
     use coflow_bench::profile::{
         compare_mem, compare_reports, render_json, render_mem_json, render_profile, run_profile,
     };
@@ -505,6 +732,12 @@ fn profile(seed: u64, args: &ProfileArgs) {
     write_report(&args.out, "profile grid report", &rendered);
     println!("# per-stage report written to {}", args.out);
 
+    // Gate outcomes accumulate here; the run record carries them and the
+    // process exits nonzero after the ledger append (a failed gate must
+    // still leave its record behind for `diff`/`report` to explain).
+    let mut gate_entries: Vec<(String, String)> = Vec::new();
+    let mut gate_failed = false;
+
     if let Some(baseline_path) = &args.baseline {
         let regen = "scripts/bench-baseline.sh --update".to_string();
         let baseline = read_baseline_file(baseline_path, "profile baseline", &regen);
@@ -534,9 +767,13 @@ fn profile(seed: u64, args: &ProfileArgs) {
             );
             regressed |= d.regressed;
         }
+        gate_entries.push((
+            "perf-baseline".to_string(),
+            if regressed { "fail" } else { "pass" }.to_string(),
+        ));
         if regressed {
             eprintln!("error: per-stage regression beyond tolerance");
-            std::process::exit(1);
+            gate_failed = true;
         }
     }
 
@@ -578,10 +815,24 @@ fn profile(seed: u64, args: &ProfileArgs) {
             );
             regressed |= d.regressed;
         }
+        gate_entries.push((
+            "mem-baseline".to_string(),
+            if regressed { "fail" } else { "pass" }.to_string(),
+        ));
         if regressed {
             eprintln!("error: memory regression beyond tolerance");
-            std::process::exit(1);
+            gate_failed = true;
         }
+    }
+
+    let mut rec = coflow_bench::ledger::record_from_profile(
+        &report,
+        started.elapsed().as_secs_f64() * 1000.0,
+    );
+    rec.verdicts = gate_entries;
+    append_ledger(ledger, rec);
+    if gate_failed {
+        std::process::exit(1);
     }
 }
 
@@ -857,7 +1108,7 @@ fn faults(seed: u64) {
     exit_if_interrupted("fault-policy table (printed above)");
 }
 
-fn pin(seed: u64, args: &PinArgs) {
+fn pin(seed: u64, args: &PinArgs, ledger: &Option<String>, started: std::time::Instant) {
     use coflow_bench::pins::{collect_pins, compare_pins, parse_pins, render_pins, render_pins_json};
 
     // Read and parse the committed pin file *before* the expensive pin
@@ -889,18 +1140,32 @@ fn pin(seed: u64, args: &PinArgs) {
         println!("# pin file written to {}", out);
     }
 
+    let mut rec = coflow_bench::ledger::record_from_pins(
+        &report,
+        started.elapsed().as_secs_f64() * 1000.0,
+    );
+    let mut gate_failed = false;
     if let Some(check) = &args.check {
         let baseline = match checked {
             Some(b) => b,
             None => unreachable!(),
         };
-        match compare_pins(&baseline, &report, args.tolerance) {
-            Ok(summary) => println!("# {}: {}", check, summary),
+        let status = match compare_pins(&baseline, &report, args.tolerance) {
+            Ok(summary) => {
+                println!("# {}: {}", check, summary);
+                "pass"
+            }
             Err(e) => {
                 eprintln!("error: pin gate failed vs {}: {}", check, e);
-                std::process::exit(1);
+                gate_failed = true;
+                "fail"
             }
-        }
+        };
+        rec.verdicts.push(("pin-check".to_string(), status.to_string()));
+    }
+    append_ledger(ledger, rec);
+    if gate_failed {
+        std::process::exit(1);
     }
 }
 

@@ -19,12 +19,15 @@
 
 pub mod arrivals;
 pub mod chaos;
+pub mod dash;
+pub mod diff;
 pub mod explain;
 pub mod faults;
 pub mod figures;
 pub mod grid;
 pub mod gridsweep;
 pub mod integrality;
+pub mod ledger;
 pub mod lowerbound;
 pub mod pins;
 pub mod profile;

@@ -23,14 +23,31 @@ use coflow_workloads::json::{self, fmt_f64};
 #[derive(Clone, Debug)]
 pub struct JsonDoc {
     entries: Vec<(String, String)>,
+    schemas: Vec<String>,
 }
 
 impl JsonDoc {
-    /// Starts a document tagged with `schema`.
+    /// Starts a document tagged with `schema`. A `provenance` header —
+    /// git revision, dirty flag, timestamp, and the schema list — renders
+    /// immediately after the tag, so every report can be traced back to
+    /// the tree that produced it. Golden tests zero it via
+    /// [`obs::ledger::set_zero_provenance`] (or `COFLOW_PROVENANCE=zero`)
+    /// to stay byte-stable.
     pub fn new(schema: &str) -> Self {
-        let mut doc = JsonDoc { entries: Vec::new() };
+        let mut doc = JsonDoc { entries: Vec::new(), schemas: vec![schema.to_string()] };
         doc.raw("schema", json::quote(schema));
         doc
+    }
+
+    /// Extends the provenance schema list — the diff report lists both
+    /// compared schemas alongside its own.
+    pub fn add_schemas(&mut self, extra: &[&str]) -> &mut Self {
+        for s in extra {
+            if !self.schemas.iter().any(|have| have == s) {
+                self.schemas.push(s.to_string());
+            }
+        }
+        self
     }
 
     /// Appends a pre-rendered JSON value (object, array, or literal).
@@ -56,19 +73,41 @@ impl JsonDoc {
     }
 
     /// Renders the document: two-space-indented entries, one per line,
-    /// with a trailing newline (the historical report shape).
+    /// with a trailing newline (the historical report shape). The
+    /// provenance header is rendered right after the schema tag.
     pub fn render(&self) -> String {
         let mut out = String::from("{\n");
-        for (i, (key, value)) in self.entries.iter().enumerate() {
+        let provenance = ("provenance".to_string(), render_provenance(&self.schemas));
+        let n = self.entries.len() + 1;
+        let all = self.entries.iter().take(1).chain(
+            std::iter::once(&provenance).chain(self.entries.iter().skip(1)),
+        );
+        for (i, (key, value)) in all.enumerate() {
             out.push_str("  ");
             out.push_str(&json::quote(key));
             out.push_str(": ");
             out.push_str(value);
-            out.push_str(if i + 1 < self.entries.len() { ",\n" } else { "\n" });
+            out.push_str(if i + 1 < n { ",\n" } else { "\n" });
         }
         out.push_str("}\n");
         out
     }
+}
+
+/// Renders the shared provenance object carried by every report: git rev,
+/// dirty flag, unix timestamp, and the schemas the document speaks.
+/// Zeroed (rev `0000000000`, ts 0) under `COFLOW_PROVENANCE=zero` so
+/// golden files stay byte-stable.
+fn render_provenance(schemas: &[String]) -> String {
+    let prov = obs::ledger::git_provenance();
+    let list: Vec<String> = schemas.iter().map(|s| json::quote(s)).collect();
+    format!(
+        "{{\"git_rev\": {}, \"git_dirty\": {}, \"ts\": {}, \"schemas\": [{}]}}",
+        json::quote(&prov.git_rev),
+        prov.git_dirty,
+        obs::ledger::unix_ts(),
+        list.join(", ")
+    )
 }
 
 /// Writes a rendered report to `path` atomically (temp file + rename) and,
@@ -94,17 +133,48 @@ mod tests {
     use coflow_workloads::json::JsonValue;
 
     #[test]
-    fn doc_renders_schema_first_with_exact_layout() {
+    fn doc_renders_schema_then_provenance_with_exact_layout() {
+        obs::ledger::set_zero_provenance(true);
         let mut doc = JsonDoc::new("coflow-test/1");
         doc.num("seed", 7u64).float("ratio", 1.5).text("name", "x\"y");
         doc.raw("cells", "[\n    {\"a\": 1}\n  ]");
         let text = doc.render();
-        assert!(text.starts_with("{\n  \"schema\": \"coflow-test/1\",\n  \"seed\": 7,\n"));
+        assert!(text.starts_with(
+            "{\n  \"schema\": \"coflow-test/1\",\n  \"provenance\": \
+             {\"git_rev\": \"0000000000\", \"git_dirty\": false, \"ts\": 0, \
+             \"schemas\": [\"coflow-test/1\"]},\n  \"seed\": 7,\n"
+        ));
         assert!(text.ends_with("  \"cells\": [\n    {\"a\": 1}\n  ]\n}\n"));
         let parsed = json::parse(&text).expect("valid JSON");
         assert_eq!(parsed.get("schema"), Some(&JsonValue::Str("coflow-test/1".into())));
         assert_eq!(parsed.get("ratio"), Some(&JsonValue::Num("1.5".into())));
         assert_eq!(parsed.get("name"), Some(&JsonValue::Str("x\"y".into())));
+        let prov = parsed.get("provenance").expect("provenance present");
+        assert_eq!(prov.get("git_rev"), Some(&JsonValue::Str("0000000000".into())));
+        // stay zeroed: tests run in parallel and none asserts live provenance
+    }
+
+    #[test]
+    fn add_schemas_extends_the_provenance_list_without_duplicates() {
+        obs::ledger::set_zero_provenance(true);
+        let mut doc = JsonDoc::new("coflow-diff/1");
+        doc.add_schemas(&["coflow-ledger/1", "coflow-diff/1"]);
+        let parsed = json::parse(&doc.render()).expect("valid JSON");
+        let prov = parsed.get("provenance").expect("provenance present");
+        match prov.get("schemas") {
+            Some(JsonValue::Arr(items)) => {
+                let names: Vec<_> = items
+                    .iter()
+                    .filter_map(|v| match v {
+                        JsonValue::Str(s) => Some(s.as_str()),
+                        _ => None,
+                    })
+                    .collect();
+                assert_eq!(names, ["coflow-diff/1", "coflow-ledger/1"]);
+            }
+            other => panic!("schemas not an array: {:?}", other),
+        }
+        // stay zeroed: tests run in parallel and none asserts live provenance
     }
 
     #[test]

@@ -10,6 +10,9 @@ use coflow_workloads::{generate_trace, TraceConfig};
 
 #[test]
 fn diagnostics_report_matches_golden() {
+    // The provenance header is zeroed so the golden stays byte-stable
+    // across commits and working-tree states.
+    obs::ledger::set_zero_provenance(true);
     let instance = generate_trace(&TraceConfig::small(7));
     let report = run_explain(
         &instance,

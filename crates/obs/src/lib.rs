@@ -32,6 +32,7 @@ mod error;
 mod hist;
 pub mod interrupt;
 pub mod json;
+pub mod ledger;
 pub mod series;
 mod sink;
 pub mod telemetry;

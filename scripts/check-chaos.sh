@@ -18,6 +18,15 @@ cd "$(dirname "$0")/.."
 out_dir="${CHAOS_OUT_DIR:-target}"
 mkdir -p "$out_dir"
 
+# On exit, append a coflow-ledger/1 verdict record (best-effort) so
+# `experiments -- report` shows the gate history.
+STATUS=fail
+append_verdict() {
+    cargo run --release -q -p coflow-bench --bin experiments -- \
+        verdict --gate check-chaos --status "$STATUS" >/dev/null 2>&1 || true
+}
+trap append_verdict EXIT
+
 cargo build --release -q -p coflow-bench
 
 ./target/release/experiments chaos \
@@ -26,3 +35,5 @@ cargo build --release -q -p coflow-bench
     --out "$out_dir/chaos.json"
 
 ./target/release/experiments chaos --validate "$out_dir/chaos.json"
+
+STATUS=pass

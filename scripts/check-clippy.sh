@@ -4,6 +4,19 @@
 #   #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 # so this command fails the build on any new panic-by-default call site
 # (tests and benches are exempt through the cfg gate).
+#
+# On exit, a coflow-ledger/1 verdict record is appended (best-effort) so
+# `experiments -- report` shows the gate history.
 set -eu
 cd "$(dirname "$0")/.."
-exec cargo clippy --workspace -- -D warnings
+
+STATUS=fail
+append_verdict() {
+    cargo run --release -q -p coflow-bench --bin experiments -- \
+        verdict --gate check-clippy --status "$STATUS" >/dev/null 2>&1 || true
+}
+trap append_verdict EXIT
+
+cargo clippy --workspace -- -D warnings
+
+STATUS=pass

@@ -12,6 +12,15 @@ cd "$(dirname "$0")/.."
 out_dir="${EXPLAIN_OUT_DIR:-target}"
 mkdir -p "$out_dir"
 
+# On exit, append a coflow-ledger/1 verdict record (best-effort) so
+# `experiments -- report` shows the gate history.
+STATUS=fail
+append_verdict() {
+    cargo run --release -q -p coflow-bench --bin experiments -- \
+        verdict --gate check-explain --status "$STATUS" >/dev/null 2>&1 || true
+}
+trap append_verdict EXIT
+
 cargo build --release -p coflow-bench
 
 # Clean grid: exits nonzero on any anomaly at or above warning.
@@ -25,3 +34,5 @@ cargo build --release -p coflow-bench
     --expect-starvation
 
 echo "check-explain: clean grid silent, fault sweep caught starvation"
+
+STATUS=pass

@@ -15,6 +15,15 @@ cd "$(dirname "$0")/.."
 
 BASELINE="${MEM_BASELINE:-BENCH_mem.json}"
 
+# On exit, append a coflow-ledger/1 verdict record (best-effort) so
+# `experiments -- report` shows the gate history.
+STATUS=fail
+append_verdict() {
+    cargo run --release -q -p coflow-bench --bin experiments -- \
+        verdict --gate check-mem --status "$STATUS" >/dev/null 2>&1 || true
+}
+trap append_verdict EXIT
+
 # Fail fast, with the regeneration command, before any expensive run.
 if [ ! -s "$BASELINE" ]; then
     echo "error: memory baseline '$BASELINE' is missing or empty." >&2
@@ -25,3 +34,5 @@ fi
 
 cargo run --release -q -p coflow-bench --bin experiments -- \
     profile --mem-baseline "$BASELINE" --mem-tolerance "${MEM_TOLERANCE:-0.25}" "$@"
+
+STATUS=pass

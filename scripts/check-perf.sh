@@ -24,6 +24,15 @@ cd "$(dirname "$0")/.."
 
 OUT="${PERF_OUT:-BENCH_grid.json}"
 
+# On exit, append a coflow-ledger/1 verdict record (best-effort) so
+# `experiments -- report` shows the gate history.
+STATUS=fail
+append_verdict() {
+    cargo run --release -q -p coflow-bench --bin experiments -- \
+        verdict --gate check-perf --status "$STATUS" >/dev/null 2>&1 || true
+}
+trap append_verdict EXIT
+
 # Fail fast, with the regeneration command, when a committed gate file is
 # missing or truncated — before any expensive run starts. (The experiments
 # binary repeats the same check with the same message; this catches the
@@ -53,3 +62,5 @@ cargo run --release -q -p coflow-bench --bin experiments -- \
 
 CRITERION_JSON="${CRITERION_JSON:-kernels_bench.jsonl}" \
     cargo bench -q -p coflow-bench --bench kernels -- --bench
+
+STATUS=pass

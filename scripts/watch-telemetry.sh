@@ -5,6 +5,13 @@
 # Pure POSIX sh + awk — no jq dependency; the stream's flat
 # one-line-per-object layout makes field extraction a regex match.
 #
+# If the file does not exist yet (the usual case when the watcher is
+# started before the run), polls for it every 0.2s up to
+# WATCH_TIMEOUT seconds (default 30) instead of failing.
+#
+# On exit, prints where the run ledger lives so the follow-up commands
+# (`experiments -- diff`, `experiments -- report`) are one paste away.
+#
 # Usage:
 #   scripts/watch-telemetry.sh telemetry.ndjson
 #   scripts/watch-telemetry.sh telemetry.ndjson --no-follow   # print & exit
@@ -18,21 +25,43 @@ FILE="$1"
 FOLLOW=1
 [ "${2:-}" = "--no-follow" ] && FOLLOW=0
 
+on_exit() {
+    echo "run ledger: ${COFLOW_LEDGER:-LEDGER.ndjson} (inspect with: experiments -- diff / experiments -- report)" >&2
+}
+trap on_exit EXIT
+
+if ! [ -e "$FILE" ]; then
+    TIMEOUT="${WATCH_TIMEOUT:-30}"
+    # Poll in 0.2s steps: 5 polls per second.
+    POLLS=$((TIMEOUT * 5))
+    echo "waiting up to ${TIMEOUT}s for $FILE ..." >&2
+    while ! [ -e "$FILE" ]; do
+        if [ "$POLLS" -le 0 ]; then
+            echo "timed out: $FILE was not created within ${TIMEOUT}s" >&2
+            exit 1
+        fi
+        POLLS=$((POLLS - 1))
+        sleep 0.2
+    done
+fi
+
+# The writer emits compact separators ("key":value); the ": ?" in the
+# field regexes also accepts a space so a pretty-printed copy still reads.
 FORMAT='
 function field(key,    m) {
-    if (match($0, "\"" key "\": \"[^\"]*\"")) {
+    if (match($0, "\"" key "\": ?\"[^\"]*\"")) {
         m = substr($0, RSTART, RLENGTH)
-        sub("\"" key "\": \"", "", m); sub("\"$", "", m)
+        sub("\"" key "\": ?\"", "", m); sub("\"$", "", m)
         return m
     }
-    if (match($0, "\"" key "\": [0-9.eE+-]+")) {
+    if (match($0, "\"" key "\": ?[0-9.eE+-]+")) {
         m = substr($0, RSTART, RLENGTH)
-        sub("\"" key "\": ", "", m)
+        sub("\"" key "\": ?", "", m)
         return m
     }
     return "-"
 }
-/"schema": "coflow-telemetry\/1"/ {
+/"schema": ?"coflow-telemetry\/1"/ {
     mib = field("live_bytes") / 1048576.0
     printf "%6.1fs  #%-5s %-12s %-24s epoch %-8s residual %-10s active %-4s replans %-4s %6.1f MiB live\n", \
         field("elapsed_ms") / 1000.0, field("seq"), field("source"), \

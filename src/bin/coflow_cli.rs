@@ -23,6 +23,14 @@
 //! the stream stays valid NDJSON across a SIGINT. Watch it live with
 //! `scripts/watch-telemetry.sh PATH`.
 //!
+//! Every run appends one `coflow-ledger/1` record to the run ledger
+//! (default `LEDGER.ndjson`; `--ledger PATH` or `COFLOW_LEDGER`
+//! overrides, `--ledger none` disables): objective, makespan, git
+//! provenance, wall-clock, memory marks, and — under `--profile` —
+//! per-stage wall-clock and allocation attribution from the registry.
+//! `experiments -- diff`/`report` consume the ledger; appends are
+//! non-fatal so a read-only checkout still schedules.
+//!
 //! `--explain` solves the interval-indexed LP and prints per-coflow
 //! forensics — realized completion vs `C̄_k`, the wait/service split, and
 //! any anomaly-detector firings (see `coflow::diagnostics`).
@@ -55,8 +63,24 @@ struct Args {
     profile: bool,
     trace_out: Option<String>,
     telemetry: Option<String>,
+    ledger: Option<String>,
     generate: Option<usize>,
     seed: u64,
+}
+
+/// Resolve the run-ledger path: `--ledger` beats `COFLOW_LEDGER` beats the
+/// default `LEDGER.ndjson`; the sentinels `none`/`off` disable appends.
+/// (Mirrors `coflow_bench::ledger::ledger_path`; the root crate does not
+/// depend on the bench crate, so the three-line rule is restated here.)
+fn resolve_ledger(flag: Option<&str>) -> Option<String> {
+    let chosen = flag
+        .map(str::to_string)
+        .or_else(|| std::env::var("COFLOW_LEDGER").ok())
+        .unwrap_or_else(|| "LEDGER.ndjson".to_string());
+    match chosen.as_str() {
+        "none" | "off" | "" => None,
+        _ => Some(chosen),
+    }
 }
 
 fn usage() -> ! {
@@ -65,7 +89,7 @@ fn usage() -> ! {
          [--order H_A|H_rho|H_LP|H_size] [--no-group] [--no-backfill] \
          [--rematch] [--online] [--online-stale] [--greedy] [--analyze] \
          [--explain] [--emit-json] [--profile] [--trace-out PATH]\n\
-         \x20      [--telemetry PATH]\n\
+         \x20      [--telemetry PATH] [--ledger PATH|none]\n\
          \x20      coflow-cli --generate <n> [--ports N] [--seed S]"
     );
     exit(2)
@@ -88,6 +112,7 @@ fn parse_args() -> Args {
         profile: false,
         trace_out: None,
         telemetry: None,
+        ledger: None,
         generate: None,
         seed: 2015,
     };
@@ -128,6 +153,11 @@ fn parse_args() -> Args {
             "--telemetry" => {
                 i += 1;
                 args.telemetry =
+                    Some(argv.get(i).unwrap_or_else(|| usage()).to_string());
+            }
+            "--ledger" => {
+                i += 1;
+                args.ledger =
                     Some(argv.get(i).unwrap_or_else(|| usage()).to_string());
             }
             "--generate" => {
@@ -184,6 +214,7 @@ fn main() {
     // of being killed mid-write (report files are written atomically, so a
     // reader never observes a torn document either way).
     obs::install_sigint_handler();
+    let started = std::time::Instant::now();
     let args = parse_args();
 
     if let Some(n) = args.generate {
@@ -332,6 +363,41 @@ fn main() {
         }
         for a in &d.anomalies {
             println!("anomaly [{}] {}: {}", a.severity.name(), a.detector.name(), a.message);
+        }
+    }
+
+    if let Some(ledger_path) = resolve_ledger(args.ledger.as_deref()) {
+        let stats = obs::alloc::stats();
+        let mut rec = obs::ledger::LedgerRecord {
+            kind: "run".to_string(),
+            command: "cli".to_string(),
+            label: path.to_string(),
+            seed: args.seed,
+            fingerprint: format!(
+                "ports={} coflows={} order={}",
+                instance.ports(),
+                instance.len(),
+                args.order.name()
+            ),
+            elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+            peak_rss_kb: obs::alloc::peak_rss_kb().unwrap_or(0),
+            peak_live_bytes: stats.peak_live_bytes,
+            alloc_calls: stats.alloc_calls,
+            objectives: vec![
+                ("objective".to_string(), outcome.objective),
+                ("makespan".to_string(), outcome.makespan() as f64),
+            ],
+            ..obs::ledger::LedgerRecord::default()
+        };
+        if args.profile {
+            let (ms, allocs, bytes) = obs::ledger::stage_digest(&obs::snapshot());
+            rec.stages_ms = ms;
+            rec.stage_allocs = allocs;
+            rec.stage_alloc_bytes = bytes;
+        }
+        match obs::ledger::append(&ledger_path, &mut rec) {
+            Ok(seq) => eprintln!("ledger: appended run record seq {} to {}", seq, ledger_path),
+            Err(e) => eprintln!("warning: ledger append failed: {}", e),
         }
     }
 
