@@ -9,6 +9,9 @@
 //!                     [--faults RATE] [--severity LEVEL]
 //!                     [--expect-starvation] [--validate PATH] [--seed N]
 //! experiments pin [--out PATH] [--check PATH] [--tolerance F] [--seed N]
+//! experiments scale [--ports LIST] [--coflows LIST] [--cell MxN]
+//!                   [--window W] [--out BENCH_scale.json] [--check PATH]
+//!                   [--tolerance F] [--mem-tolerance F] [--seed N]
 //! experiments chaos [--kills N] [--windows N] [--faults RATE]
 //!                   [--out PATH] [--validate PATH] [--seed N]
 //! experiments diff [A] [B] [--tolerance F] [--out PATH] [--ledger PATH]
@@ -84,6 +87,19 @@
 //! current unit of work, writes whatever partial report exists via the
 //! shared atomic write-then-rename sink, and exits 130.
 //!
+//! `scale` runs the streaming scale sweep (`coflow-bench-scale/1`): each
+//! `(ports, coflows)` cell streams its workload through windowed
+//! admission, the ordering ladder (windowed sparse LP up to 128 ports,
+//! Smith-rule `ρ/w` beyond), and the O(1)-per-flow sparse executor —
+//! recording wall-clock per stage, peak RSS, allocator counts, and the
+//! deterministic objective. The default cells form the committed
+//! `BENCH_scale.json` curve up to 10,000 ports and 10⁶ streamed coflows.
+//! `--cell 1000x10000 --check BENCH_scale.json` re-runs one cell and
+//! gates it against the committed curve (wall +20% over a 10 ms floor,
+//! allocations +25% over the mem-gate floors, objectives bit-exact) —
+//! that invocation is `scripts/check-scale.sh`. `--ports`/`--coflows`
+//! sweep a custom cross product; `--window` sets the admission window.
+//!
 //! `pin` recomputes the engine's pinned objectives — the 12-cell grid, the
 //! online scheduler (fixed and stale priorities), the greedy baseline, and
 //! the fault-injected combinations — on the canonical arrivals instance.
@@ -136,6 +152,33 @@ impl Default for ProfileArgs {
             mem_out: None,
             mem_baseline: None,
             mem_tolerance: 0.25,
+        }
+    }
+}
+
+/// Options of the `scale` subcommand.
+struct ScaleArgs {
+    out: String,
+    check: Option<String>,
+    ports: Option<Vec<usize>>,
+    coflows: Option<Vec<usize>>,
+    cell: Option<(usize, usize)>,
+    window: usize,
+    wall_tolerance: f64,
+    alloc_tolerance: f64,
+}
+
+impl Default for ScaleArgs {
+    fn default() -> Self {
+        ScaleArgs {
+            out: "BENCH_scale.json".to_string(),
+            check: None,
+            ports: None,
+            coflows: None,
+            cell: None,
+            window: coflow_bench::scale::DEFAULT_WINDOW,
+            wall_tolerance: 0.2,
+            alloc_tolerance: 0.25,
         }
     }
 }
@@ -214,6 +257,7 @@ fn main() {
     let mut explain_args = ExplainArgs::default();
     let mut pin_args = PinArgs::default();
     let mut chaos_args = ChaosArgs::default();
+    let mut scale_args = ScaleArgs::default();
     let mut ledger_flag: Option<String> = None;
     let mut out_flag: Option<String> = None;
     let mut tolerance_flag: Option<f64> = None;
@@ -249,7 +293,35 @@ fn main() {
                 explain_args.out = value.clone();
                 chaos_args.out = value.clone();
                 pin_args.out = Some(value.clone());
+                scale_args.out = value.clone();
                 out_flag = Some(value);
+            }
+            "--ports" => scale_args.ports = Some(parse_usize_list(&value_of("--ports"), "--ports")),
+            "--coflows" => {
+                scale_args.coflows = Some(parse_usize_list(&value_of("--coflows"), "--coflows"))
+            }
+            "--cell" => {
+                let value = value_of("--cell");
+                let parsed = value.split_once('x').and_then(|(m, n)| {
+                    Some((m.trim().parse().ok()?, n.trim().parse().ok()?))
+                });
+                scale_args.cell = match parsed {
+                    Some(cell) => Some(cell),
+                    None => {
+                        eprintln!("error: --cell needs PORTSxCOFLOWS (e.g. 1000x10000), got '{}'", value);
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--window" => {
+                let value = value_of("--window");
+                scale_args.window = match value.parse() {
+                    Ok(w) if w > 0 => w,
+                    _ => {
+                        eprintln!("error: --window must be a positive integer, got '{}'", value);
+                        std::process::exit(2);
+                    }
+                };
             }
             "--ledger" => ledger_flag = Some(value_of("--ledger")),
             "--gate" => gate_flag = Some(value_of("--gate")),
@@ -295,13 +367,15 @@ fn main() {
             "--mem-baseline" => profile_args.mem_baseline = Some(value_of("--mem-baseline")),
             "--mem-tolerance" => {
                 let value = value_of("--mem-tolerance");
-                profile_args.mem_tolerance = match value.parse() {
+                let parsed = match value.parse() {
                     Ok(t) => t,
                     Err(_) => {
                         eprintln!("error: --mem-tolerance must be a number, got '{}'", value);
                         std::process::exit(2);
                     }
                 };
+                profile_args.mem_tolerance = parsed;
+                scale_args.alloc_tolerance = parsed;
             }
             "--telemetry" => {
                 let value = value_of("--telemetry");
@@ -343,7 +417,11 @@ fn main() {
                 explain_args.validate = Some(value.clone());
                 chaos_args.validate = Some(value);
             }
-            "--check" => pin_args.check = Some(value_of("--check")),
+            "--check" => {
+                let value = value_of("--check");
+                pin_args.check = Some(value.clone());
+                scale_args.check = Some(value);
+            }
             "--tolerance" => {
                 let value = value_of("--tolerance");
                 let parsed: f64 = match value.parse() {
@@ -355,6 +433,7 @@ fn main() {
                 };
                 profile_args.tolerance = parsed;
                 pin_args.tolerance = parsed;
+                scale_args.wall_tolerance = parsed;
                 tolerance_flag = Some(parsed);
             }
             "--full" => profile_args.full = true,
@@ -386,6 +465,7 @@ fn main() {
         "profile" => profile(seed, &profile_args, &ledger, started),
         "explain" => explain(seed, &explain_args),
         "pin" => pin(seed, &pin_args, &ledger, started),
+        "scale" => scale(seed, &scale_args, &ledger, started),
         "chaos" => chaos(seed, &chaos_args),
         "diff" => diff_cmd(&extras, tolerance_flag, &ledger, out_flag.as_deref()),
         "report" => report_cmd(&ledger, out_flag.as_deref()),
@@ -409,7 +489,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{}'; expected table1|fig2a|fig2b|lpexp|ratios|gridsweep|integrality|arrivals|faults|profile|explain|pin|chaos|diff|report|verdict|all",
+                "unknown experiment '{}'; expected table1|fig2a|fig2b|lpexp|ratios|gridsweep|integrality|arrivals|faults|profile|explain|pin|scale|chaos|diff|report|verdict|all",
                 other
             );
             std::process::exit(2);
@@ -1106,6 +1186,137 @@ fn faults(seed: u64) {
     let policies = run_fault_policies(&inst, &rates, seed);
     print!("{}", render_fault_policies(&policies));
     exit_if_interrupted("fault-policy table (printed above)");
+}
+
+/// Parses a comma-separated list of positive integers (`--ports 100,1000`).
+fn parse_usize_list(value: &str, flag: &str) -> Vec<usize> {
+    let parsed: Option<Vec<usize>> = value
+        .split(',')
+        .map(|s| s.trim().parse::<usize>().ok().filter(|&v| v > 0))
+        .collect();
+    match parsed {
+        Some(list) if !list.is_empty() => list,
+        _ => {
+            eprintln!(
+                "error: {} needs a comma-separated list of positive integers, got '{}'",
+                flag, value
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn scale(seed: u64, args: &ScaleArgs, ledger: &Option<String>, started: std::time::Instant) {
+    use coflow_bench::scale::{
+        compare_scale, render_scale, render_scale_json, run_scale, DEFAULT_CELLS,
+    };
+
+    // Resolve the swept cells: an explicit --cell wins; --ports/--coflows
+    // build the cross product; otherwise the committed default curve.
+    let cells: Vec<(usize, usize)> = if let Some(cell) = args.cell {
+        vec![cell]
+    } else if args.ports.is_some() || args.coflows.is_some() {
+        let default_ports: Vec<usize> = DEFAULT_CELLS.iter().map(|&(p, _)| p).collect();
+        let default_coflows: Vec<usize> = DEFAULT_CELLS.iter().map(|&(_, c)| c).collect();
+        let ports = args.ports.as_deref().unwrap_or(&default_ports);
+        let coflows = args.coflows.as_deref().unwrap_or(&default_coflows);
+        let mut cells = Vec::new();
+        for &p in ports {
+            for &c in coflows {
+                if !cells.contains(&(p, c)) {
+                    cells.push((p, c));
+                }
+            }
+        }
+        cells
+    } else {
+        DEFAULT_CELLS.to_vec()
+    };
+
+    // Read the baseline before the sweep so a missing file fails fast.
+    let baseline = args.check.as_ref().map(|check| {
+        let regen = format!(
+            "cargo run --release -p coflow-bench --bin experiments -- scale --out {}",
+            check
+        );
+        read_baseline_file(check, "scale baseline", &regen)
+    });
+
+    println!(
+        "# scale sweep: {} cells, window {}, seed {}",
+        cells.len(),
+        args.window,
+        seed
+    );
+    let report = run_scale(&cells, seed, args.window);
+    print!("{}", render_scale(&report));
+    let rendered = render_scale_json(&report);
+
+    // A gate run (--check without --out) must not clobber the committed
+    // baseline with its single-cell subset.
+    let write_out = args.check.is_none() || out_flag_differs(&args.out, args.check.as_deref());
+    if write_out {
+        write_report(&args.out, "scale report", &rendered);
+        println!("# scale report written to {}", args.out);
+    }
+    exit_if_interrupted(&args.out);
+
+    let mut rec = coflow_bench::ledger::record_from_scale(
+        &report,
+        started.elapsed().as_secs_f64() * 1000.0,
+    );
+    let mut gate_failed = false;
+    if let Some(baseline) = baseline {
+        let check = args.check.as_deref().unwrap_or_default();
+        match compare_scale(&baseline, &rendered, args.wall_tolerance, args.alloc_tolerance) {
+            Ok(deltas) => {
+                let mut regressed = false;
+                println!(
+                    "# scale comparison vs {} (wall +{:.0}%, alloc +{:.0}%):",
+                    check,
+                    args.wall_tolerance * 100.0,
+                    args.alloc_tolerance * 100.0
+                );
+                for d in &deltas {
+                    println!(
+                        "#   {:<18} {:<12} {:>16.2} -> {:>16.2}  {}",
+                        d.cell,
+                        d.metric,
+                        d.baseline,
+                        d.current,
+                        if d.regressed { "REGRESSED" } else { "ok" }
+                    );
+                    regressed |= d.regressed;
+                }
+                rec.verdicts.push((
+                    "scale-baseline".to_string(),
+                    if regressed { "fail" } else { "pass" }.to_string(),
+                ));
+                if regressed {
+                    eprintln!("error: scale regression beyond tolerance");
+                    gate_failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: comparing against scale baseline {}: {}", check, e);
+                rec.verdicts.push(("scale-baseline".to_string(), "fail".to_string()));
+                gate_failed = true;
+            }
+        }
+    }
+    append_ledger(ledger, rec);
+    if gate_failed {
+        std::process::exit(1);
+    }
+}
+
+/// True when `--out` was explicitly pointed away from the checked
+/// baseline (the default out path is suppressed under `--check`).
+fn out_flag_differs(out: &str, check: Option<&str>) -> bool {
+    match check {
+        Some(check) => out != "BENCH_scale.json" && out != check,
+        None => true,
+    }
 }
 
 fn pin(seed: u64, args: &PinArgs, ledger: &Option<String>, started: std::time::Instant) {

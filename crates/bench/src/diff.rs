@@ -127,8 +127,9 @@ fn num_f64(v: &JsonValue) -> Option<f64> {
 
 /// Reads a committed report file into a diff side. Supports
 /// `coflow-bench-grid/3` (stages + objectives + mem), `coflow-bench-mem/1`
-/// (mem only), and `coflow-pins/1` (objectives only) — the three formats
-/// with committed baselines in the repo.
+/// (mem only), `coflow-pins/1` (objectives only), and
+/// `coflow-bench-scale/1` (stages + objectives + mem per scale cell) —
+/// the formats with committed baselines in the repo.
 pub fn side_from_path(path: &str) -> Result<DiffSide, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {}", path, e))?;
@@ -194,14 +195,49 @@ pub fn side_from_path(path: &str) -> Result<DiffSide, String> {
             }
             side.info.push(("engine_ms".to_string(), report.engine_ms));
         }
+        crate::scale::SCHEMA => {
+            let Some(JsonValue::Arr(cells)) = doc.get("cells") else {
+                return Err(format!("{}: no 'cells' array", path));
+            };
+            for cell in cells {
+                let label = match (
+                    cell.get("ports").and_then(num_f64),
+                    cell.get("coflows").and_then(num_f64),
+                ) {
+                    (Some(p), Some(c)) => {
+                        crate::scale::cell_label(p as usize, c as usize)
+                    }
+                    _ => return Err(format!("{}: cell missing ports/coflows", path)),
+                };
+                if let Some(obj) = cell.get("objective").and_then(num_f64) {
+                    side.objectives.push((label, obj));
+                }
+                if let Some(JsonValue::Obj(pairs)) = cell.get("stages_ms") {
+                    for (stage, v) in pairs {
+                        if stage == "total" {
+                            continue;
+                        }
+                        let Some(v) = num_f64(v) else { continue };
+                        match side.stages_ms.iter_mut().find(|(s, _)| s == stage) {
+                            Some((_, sum)) => *sum += v,
+                            None => side.stages_ms.push((stage.clone(), v)),
+                        }
+                    }
+                }
+                if let Some(mem) = cell.get("mem") {
+                    accumulate_mem(&mut side.mem, mem);
+                }
+            }
+        }
         other => {
             return Err(format!(
-                "{}: cannot diff schema {:?} (expected {}, {}, or {})",
+                "{}: cannot diff schema {:?} (expected {}, {}, {}, or {})",
                 path,
                 other,
                 crate::profile::SCHEMA,
                 crate::profile::MEM_SCHEMA,
-                crate::pins::SCHEMA
+                crate::pins::SCHEMA,
+                crate::scale::SCHEMA
             ))
         }
     }

@@ -80,6 +80,39 @@ pub fn record_from_profile(report: &ProfileReport, elapsed_ms: f64) -> LedgerRec
     rec
 }
 
+/// Builds the `scale` run record: per-stage wall-clock summed across the
+/// swept cells, one objective entry per cell keyed by its `m=…/n=…`
+/// label — the dashboard and `diff` read scale runs through this record
+/// exactly like profile runs.
+pub fn record_from_scale(report: &crate::scale::ScaleReport, elapsed_ms: f64) -> LedgerRecord {
+    let fingerprint = format!(
+        "window={} cells={}",
+        report.window,
+        report
+            .cells
+            .iter()
+            .map(|c| format!("{}x{}", c.ports, c.coflows))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let mut rec = base_record(
+        "scale",
+        &format!("{}-cell scale sweep", report.cells.len()),
+        report.seed,
+        &fingerprint,
+    );
+    rec.elapsed_ms = elapsed_ms;
+    for stage in crate::scale::SCALE_STAGES.iter().filter(|s| **s != "total") {
+        let total: f64 = report.cells.iter().map(|c| c.stage(stage)).sum();
+        rec.stages_ms.push((stage.to_string(), total));
+    }
+    for cell in &report.cells {
+        rec.objectives
+            .push((crate::scale::cell_label(cell.ports, cell.coflows), cell.objective));
+    }
+    rec
+}
+
 /// Builds the `pin` run record: one objective entry per pinned cell,
 /// engine wall-clock as the elapsed time payload.
 pub fn record_from_pins(report: &PinReport, elapsed_ms: f64) -> LedgerRecord {

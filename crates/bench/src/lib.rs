@@ -15,6 +15,9 @@
 //!   attribution, anomaly detectors, `coflow-diagnostics/1` reports;
 //! * [`pins`] — bit-identical objective pins (`BENCH_pins.json`) gating
 //!   the engine's grid/online/greedy/fault cells in `check-perf.sh`;
+//! * [`scale`] — the streaming scale sweep (`BENCH_scale.json`): windowed
+//!   admission over [`coflow_workloads::stream`] workloads up to 10⁶
+//!   coflows and 10,000 ports, gated by `check-scale.sh`;
 //! * [`report`] — plain-text table rendering.
 
 pub mod arrivals;
@@ -33,6 +36,7 @@ pub mod pins;
 pub mod profile;
 pub mod ratios;
 pub mod report;
+pub mod scale;
 pub mod sink;
 pub mod table1;
 

@@ -1,0 +1,699 @@
+//! The scale sweep: ports × coflows → wall-clock, peak RSS, per-stage
+//! attribution (`BENCH_scale.json`, schema `coflow-bench-scale/1`).
+//!
+//! Every other harness in this crate materializes a full
+//! [`coflow::Instance`] and runs the LP/BvN pipeline end to end — fine at
+//! the paper's 150 ports, hopeless at 10,000 ports and 10⁶ coflows. The
+//! scale runner instead composes the sub-quadratic pieces this repo grew
+//! for exactly this purpose:
+//!
+//! * **streaming generation** — [`coflow_workloads::CoflowStream`] yields
+//!   sparse coflows one at a time; the full trace never exists in memory;
+//! * **windowed admission** — coflows are admitted in fixed-size windows;
+//!   each window is ordered and released to the executor before the next
+//!   window is drawn, so memory is bounded by the window, not the run;
+//! * **ordering ladder** — fabrics up to [`LP_PORT_LIMIT`] ports order
+//!   each window with the sparse windowed interval LP
+//!   ([`coflow::try_solve_windowed_sparse`], which shards the solve by
+//!   port-connected component); larger fabrics use the `H_ρ`-style
+//!   Smith-rule order on sparse loads (`ρ_k / w_k` ascending), which needs
+//!   only the per-port load lists;
+//! * **sparse execution** — [`SparseExecutor`] keeps one `free` time per
+//!   ingress and egress port and schedules each flow contiguously at the
+//!   earliest slot both its ports are free, in window order: O(1) per
+//!   flow, O(m) state, no demand matrix and no slot-by-slot simulation.
+//!
+//! Per cell the report records the objective (deterministic, compared
+//! bit-exactly by the gate), the makespan, per-stage wall-clock
+//! (`gen`/`order`/`execute`), and the allocator view (peak live bytes,
+//! kernel peak RSS, allocation calls/bytes). [`compare_scale`] gates a
+//! fresh run against the committed baseline with the same two-sided
+//! rules as the grid gate: a fractional tolerance *and* an absolute
+//! noise floor, both of which must be breached. `scripts/check-scale.sh`
+//! runs the m=1,000 / 10k-coflow cell against `BENCH_scale.json`.
+
+use crate::profile::{ABS_FLOOR_MS, MEM_ALLOC_FLOOR, MEM_BYTES_FLOOR};
+use coflow::{try_solve_windowed_sparse, SparseCoflowLoads};
+use coflow_lp::SimplexOptions;
+use coflow_workloads::json::{self, fmt_f64, JsonValue};
+use coflow_workloads::{CoflowStream, SparseCoflow, StreamConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Schema tag of the scale report; bump on breaking layout changes.
+pub const SCHEMA: &str = "coflow-bench-scale/1";
+
+/// Stage keys of the per-cell `stages_ms` object, in report order.
+pub const SCALE_STAGES: [&str; 4] = ["gen", "order", "execute", "total"];
+
+/// Largest fabric the windowed-LP ordering mode is engaged on; beyond it
+/// the per-port LP rows alone dwarf the window and the Smith-rule order
+/// takes over.
+pub const LP_PORT_LIMIT: usize = 128;
+
+/// Admission window of the LP ordering mode. Smaller than the default
+/// window: the interval LP is cubic-ish in the window size, and 64
+/// coflows per solve keeps every solve sub-second while the component
+/// sharding inside [`coflow::try_solve_windowed_sparse`] still gets
+/// blocks to split.
+pub const LP_WINDOW: usize = 64;
+
+/// Default admission window of the Smith-rule mode.
+pub const DEFAULT_WINDOW: usize = 512;
+
+/// Default sweep cells `(ports, coflows)`: the committed
+/// `BENCH_scale.json` curve. The second cell is the gate cell of
+/// `scripts/check-scale.sh`; the last streams 10⁶ coflows over the
+/// 10,000-port fabric.
+pub const DEFAULT_CELLS: [(usize, usize); 5] = [
+    (100, 10_000),
+    (1_000, 10_000),
+    (1_000, 100_000),
+    (10_000, 100_000),
+    (10_000, 1_000_000),
+];
+
+/// The ordering mode a cell ran under (the ladder is decided by fabric
+/// size, so baselines and fresh runs can never disagree about it).
+pub fn mode_for(ports: usize) -> &'static str {
+    if ports <= LP_PORT_LIMIT {
+        "windowed-lp"
+    } else {
+        "rho"
+    }
+}
+
+/// Stable cell label used by the gate, the diff sides, and the ledger
+/// objectives (e.g. `m=1000/n=10000`).
+pub fn cell_label(ports: usize, coflows: usize) -> String {
+    format!("m={}/n={}", ports, coflows)
+}
+
+/// Port-exclusive sparse executor: one `free` time per ingress and egress
+/// port. Each flow is scheduled contiguously at the earliest slot both of
+/// its ports are free (and the coflow is released); a port serves one
+/// flow at a time, so the produced schedule is feasible on the switch by
+/// construction. State is O(m) and persists across windows — the arrays
+/// are the entire executor.
+pub struct SparseExecutor {
+    free_in: Vec<u64>,
+    free_out: Vec<u64>,
+}
+
+impl SparseExecutor {
+    /// A fresh executor over an `m × m` fabric with all ports free at 0.
+    pub fn new(m: usize) -> Self {
+        SparseExecutor {
+            free_in: vec![0; m],
+            free_out: vec![0; m],
+        }
+    }
+
+    /// Schedules every flow of `c` in list order; returns the coflow's
+    /// completion time (max flow end, at least the release date).
+    pub fn run(&mut self, c: &SparseCoflow) -> u64 {
+        let mut completion = c.release;
+        for &(i, j, units) in &c.flows {
+            let start = self.free_in[i].max(self.free_out[j]).max(c.release);
+            let end = start + units;
+            self.free_in[i] = end;
+            self.free_out[j] = end;
+            completion = completion.max(end);
+        }
+        completion
+    }
+
+    /// Latest busy slot across all ports — the schedule makespan so far.
+    pub fn horizon(&self) -> u64 {
+        self.free_in
+            .iter()
+            .chain(&self.free_out)
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One cell of the sweep.
+#[derive(Clone, Debug)]
+pub struct ScaleCell {
+    /// Fabric size.
+    pub ports: usize,
+    /// Coflows streamed through the cell.
+    pub coflows: usize,
+    /// Ordering mode (`windowed-lp` or `rho`; see [`mode_for`]).
+    pub mode: &'static str,
+    /// Admission window actually used.
+    pub window: usize,
+    /// Windows processed.
+    pub windows: u64,
+    /// Port-connected LP groups solved (windowed-lp mode; 0 otherwise).
+    pub lp_groups: u64,
+    /// Windows where the LP solve failed and the Smith-rule order was
+    /// used instead (budget exhaustion; always 0 in practice).
+    pub lp_fallbacks: u64,
+    /// Total weighted completion time of the streamed schedule.
+    pub objective: f64,
+    /// Schedule makespan (executor horizon after the last window).
+    pub makespan: u64,
+    /// Time drawing coflows from the stream, ms.
+    pub gen_ms: f64,
+    /// Time ordering windows, ms.
+    pub order_ms: f64,
+    /// Time executing flows, ms.
+    pub execute_ms: f64,
+    /// Whole cell wall-clock, ms.
+    pub total_ms: f64,
+    /// High-water mark of live bytes inside the cell window.
+    pub peak_live_bytes: u64,
+    /// Kernel peak RSS (`VmHWM`, kB) at cell end; 0 when unavailable.
+    pub peak_rss_kb: u64,
+    /// Allocation calls during the cell.
+    pub alloc_calls: u64,
+    /// Bytes allocated during the cell.
+    pub alloc_bytes: u64,
+}
+
+impl ScaleCell {
+    /// Stage value by report key ([`SCALE_STAGES`]).
+    pub fn stage(&self, key: &str) -> f64 {
+        match key {
+            "gen" => self.gen_ms,
+            "order" => self.order_ms,
+            "execute" => self.execute_ms,
+            "total" => self.total_ms,
+            other => panic!("unknown scale stage '{}'", other),
+        }
+    }
+}
+
+/// A full sweep: config identity plus one entry per cell.
+#[derive(Clone, Debug)]
+pub struct ScaleReport {
+    /// Stream seed shared by every cell.
+    pub seed: u64,
+    /// Requested admission window (LP cells clamp to [`LP_WINDOW`]).
+    pub window: usize,
+    /// The swept cells, in run order.
+    pub cells: Vec<ScaleCell>,
+}
+
+/// Smith-rule order of a window: `ρ_k / w_k` ascending, ties by window
+/// index. The `H_ρ` analog on sparse loads — no matrix, no LP. Keys are
+/// precomputed once per coflow: `rho()` walks the flow list, and calling
+/// it inside the comparator would repeat that walk O(log W) times per
+/// coflow.
+fn smith_order(window: &[SparseCoflow]) -> Vec<usize> {
+    let keys: Vec<f64> = window.iter().map(|c| c.rho() as f64 / c.weight).collect();
+    let mut order: Vec<usize> = (0..window.len()).collect();
+    order.sort_by(|&a, &b| keys[a].total_cmp(&keys[b]).then(a.cmp(&b)));
+    order
+}
+
+/// Lifts a streamed coflow into the sparse per-port load view the
+/// windowed LP consumes.
+fn loads_of(c: &SparseCoflow) -> SparseCoflowLoads {
+    let (ingress, egress) = c.port_loads();
+    SparseCoflowLoads {
+        release: c.release,
+        weight: c.weight,
+        rho: ingress
+            .iter()
+            .chain(&egress)
+            .map(|&(_, d)| d)
+            .max()
+            .unwrap_or(0),
+        ingress,
+        egress,
+    }
+}
+
+/// Runs one cell: streams `coflows` coflows over the `ports` fabric in
+/// admission windows, orders each window by the cell's ladder mode, and
+/// executes the ordered flows through the persistent [`SparseExecutor`].
+/// Emits one telemetry heartbeat per window when a sink is installed.
+pub fn run_scale_cell(ports: usize, coflows: usize, seed: u64, window: usize) -> ScaleCell {
+    let mode = mode_for(ports);
+    let window = if mode == "windowed-lp" {
+        window.min(LP_WINDOW)
+    } else {
+        window
+    };
+    let lp_opts = SimplexOptions {
+        max_iterations: 200_000,
+        time_limit_ms: Some(10_000),
+        stall_window: Some(20_000),
+        ..SimplexOptions::default()
+    };
+    obs::alloc::reset_peak();
+    let mem_before = obs::alloc::stats();
+    let label = cell_label(ports, coflows);
+    let started = Instant::now();
+    let mut stream = CoflowStream::new(StreamConfig {
+        ports,
+        num_coflows: coflows,
+        seed,
+        ..StreamConfig::default()
+    });
+    let mut exec = SparseExecutor::new(ports);
+    let mut cell = ScaleCell {
+        ports,
+        coflows,
+        mode,
+        window,
+        windows: 0,
+        lp_groups: 0,
+        lp_fallbacks: 0,
+        objective: 0.0,
+        makespan: 0,
+        gen_ms: 0.0,
+        order_ms: 0.0,
+        execute_ms: 0.0,
+        total_ms: 0.0,
+        peak_live_bytes: 0,
+        peak_rss_kb: 0,
+        alloc_calls: 0,
+        alloc_bytes: 0,
+    };
+    let mut batch: Vec<SparseCoflow> = Vec::with_capacity(window);
+    let mut completed: u64 = 0;
+    loop {
+        // Admission: draw the next window off the stream.
+        let t = Instant::now();
+        batch.clear();
+        while batch.len() < window {
+            match stream.next() {
+                Some(c) => batch.push(c),
+                None => break,
+            }
+        }
+        cell.gen_ms += t.elapsed().as_secs_f64() * 1e3;
+        if batch.is_empty() {
+            break;
+        }
+        // Ordering ladder.
+        let t = Instant::now();
+        let order = if mode == "windowed-lp" {
+            let loads: Vec<SparseCoflowLoads> = batch.iter().map(loads_of).collect();
+            match try_solve_windowed_sparse(ports, &loads, &lp_opts) {
+                Ok(relax) => {
+                    cell.lp_groups +=
+                        coflow::windowed::sparse_components(ports, &loads).len() as u64;
+                    relax.order
+                }
+                Err(_) => {
+                    cell.lp_fallbacks += 1;
+                    smith_order(&batch)
+                }
+            }
+        } else {
+            smith_order(&batch)
+        };
+        cell.order_ms += t.elapsed().as_secs_f64() * 1e3;
+        // Execution.
+        let t = Instant::now();
+        for &k in &order {
+            let completion = exec.run(&batch[k]);
+            cell.objective += batch[k].weight * completion as f64;
+        }
+        completed += order.len() as u64;
+        cell.execute_ms += t.elapsed().as_secs_f64() * 1e3;
+        cell.windows += 1;
+        if obs::telemetry::active() {
+            obs::telemetry::emit(&obs::telemetry::Sample {
+                source: "scale",
+                label: &label,
+                epoch: cell.windows,
+                completed_coflows: completed,
+                ..Default::default()
+            });
+        }
+    }
+    cell.makespan = exec.horizon();
+    cell.total_ms = started.elapsed().as_secs_f64() * 1e3;
+    let mem_after = obs::alloc::stats();
+    cell.peak_live_bytes = mem_after.peak_live_bytes;
+    cell.peak_rss_kb = obs::alloc::peak_rss_kb().unwrap_or(0);
+    cell.alloc_calls = mem_after.alloc_calls.saturating_sub(mem_before.alloc_calls);
+    cell.alloc_bytes = mem_after.alloc_bytes.saturating_sub(mem_before.alloc_bytes);
+    cell
+}
+
+/// Runs the sweep over `cells` (pairs of `(ports, coflows)`).
+pub fn run_scale(cells: &[(usize, usize)], seed: u64, window: usize) -> ScaleReport {
+    let mut report = ScaleReport {
+        seed,
+        window,
+        cells: Vec::with_capacity(cells.len()),
+    };
+    for &(ports, coflows) in cells {
+        report.cells.push(run_scale_cell(ports, coflows, seed, window));
+    }
+    report
+}
+
+/// Serializes `report` as `coflow-bench-scale/1` JSON.
+pub fn render_scale_json(report: &ScaleReport) -> String {
+    let mut cells = String::from("[\n");
+    for (idx, cell) in report.cells.iter().enumerate() {
+        cells.push_str("    {\n");
+        let _ = writeln!(cells, "      \"ports\": {},", cell.ports);
+        let _ = writeln!(cells, "      \"coflows\": {},", cell.coflows);
+        let _ = writeln!(cells, "      \"mode\": {},", json::quote(cell.mode));
+        let _ = writeln!(cells, "      \"window\": {},", cell.window);
+        let _ = writeln!(cells, "      \"windows\": {},", cell.windows);
+        let _ = writeln!(cells, "      \"lp_groups\": {},", cell.lp_groups);
+        let _ = writeln!(cells, "      \"lp_fallbacks\": {},", cell.lp_fallbacks);
+        let _ = writeln!(cells, "      \"objective\": {},", fmt_f64(cell.objective));
+        let _ = writeln!(cells, "      \"makespan\": {},", cell.makespan);
+        cells.push_str("      \"stages_ms\": {");
+        for (i, stage) in SCALE_STAGES.iter().enumerate() {
+            if i > 0 {
+                cells.push_str(", ");
+            }
+            let _ = write!(cells, "{}: {}", json::quote(stage), fmt_f64(cell.stage(stage)));
+        }
+        cells.push_str("},\n");
+        let _ = writeln!(
+            cells,
+            "      \"mem\": {{\"peak_live_bytes\": {}, \"peak_rss_kb\": {}, \
+             \"alloc_calls\": {}, \"alloc_bytes\": {}}}",
+            cell.peak_live_bytes, cell.peak_rss_kb, cell.alloc_calls, cell.alloc_bytes,
+        );
+        cells.push_str(if idx + 1 < report.cells.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    cells.push_str("  ]");
+    let mut doc = crate::sink::JsonDoc::new(SCHEMA);
+    doc.num("seed", report.seed)
+        .num("window", report.window)
+        .raw("cells", cells);
+    doc.render()
+}
+
+/// Plain-text table of a sweep (stderr-friendly progress report).
+pub fn render_scale(report: &ScaleReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== scale sweep: {} cells, window {}, seed {} ==",
+        report.cells.len(),
+        report.window,
+        report.seed
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>9} {:<11} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>10}",
+        "ports", "coflows", "mode", "windows", "gen_ms", "order_ms", "exec_ms", "total_ms",
+        "rss_MiB", "makespan"
+    );
+    for c in &report.cells {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>9} {:<11} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>9.1} {:>10}",
+            c.ports,
+            c.coflows,
+            c.mode,
+            c.windows,
+            c.gen_ms,
+            c.order_ms,
+            c.execute_ms,
+            c.total_ms,
+            c.peak_rss_kb as f64 / 1024.0,
+            c.makespan,
+        );
+    }
+    out
+}
+
+/// One compared metric from [`compare_scale`].
+#[derive(Clone, Debug)]
+pub struct ScaleDelta {
+    /// Cell label (`m=1000/n=10000`).
+    pub cell: String,
+    /// Metric name (`wall_ms`, `alloc_calls`, `alloc_bytes`, `objective`).
+    pub metric: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// True when the current value breaches the metric's threshold.
+    pub regressed: bool,
+}
+
+fn num_f64(v: &JsonValue) -> Option<f64> {
+    match v {
+        JsonValue::Num(s) => s.parse().ok(),
+        _ => None,
+    }
+}
+
+/// One gated cell: `(label, wall_ms, alloc_calls, alloc_bytes, objective)`.
+type GatedCell = (String, f64, f64, f64, f64);
+
+/// Extracts one [`GatedCell`] per cell from a parsed scale report.
+fn scale_cells(doc: &JsonValue) -> Result<Vec<GatedCell>, String> {
+    let Some(JsonValue::Arr(cells)) = doc.get("cells") else {
+        return Err("report has no 'cells' array".to_string());
+    };
+    if cells.is_empty() {
+        return Err("report has no cells".to_string());
+    }
+    let mut out = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let int = |key: &str| -> Result<f64, String> {
+            cell.get(key)
+                .and_then(num_f64)
+                .ok_or_else(|| format!("cell field '{}' missing or non-numeric", key))
+        };
+        let ports = int("ports")? as usize;
+        let coflows = int("coflows")? as usize;
+        let wall = cell
+            .get("stages_ms")
+            .and_then(|s| s.get("total"))
+            .and_then(num_f64)
+            .ok_or("cell missing stages_ms.total")?;
+        let mem = cell.get("mem").ok_or("cell missing 'mem' object")?;
+        let calls = mem
+            .get("alloc_calls")
+            .and_then(num_f64)
+            .ok_or("mem missing alloc_calls")?;
+        let bytes = mem
+            .get("alloc_bytes")
+            .and_then(num_f64)
+            .ok_or("mem missing alloc_bytes")?;
+        out.push((cell_label(ports, coflows), wall, calls, bytes, int("objective")?));
+    }
+    Ok(out)
+}
+
+/// Compares two serialized scale reports cell by cell (matched on the
+/// `m=…/n=…` label, so a gate run of a single cell checks against the
+/// full committed curve). Per matched cell:
+///
+/// * `wall_ms` regresses past `wall_tol` (fractional) **and** the
+///   [`ABS_FLOOR_MS`] absolute floor;
+/// * `alloc_calls` / `alloc_bytes` regress past `alloc_tol` **and** their
+///   [`MEM_ALLOC_FLOOR`] / [`MEM_BYTES_FLOOR`] floors;
+/// * `objective` is compared **bit-exactly** — the streamed schedule is
+///   deterministic, so any drift is a behavioral change, not noise.
+///
+/// Cells present on only one side are skipped; no overlap is an error.
+pub fn compare_scale(
+    baseline: &str,
+    current: &str,
+    wall_tol: f64,
+    alloc_tol: f64,
+) -> Result<Vec<ScaleDelta>, String> {
+    let base_doc = json::parse(baseline).map_err(|e| format!("baseline: {}", e))?;
+    let cur_doc = json::parse(current).map_err(|e| format!("current: {}", e))?;
+    for (label, doc) in [("baseline", &base_doc), ("current", &cur_doc)] {
+        match doc.get("schema") {
+            Some(JsonValue::Str(s)) if s == SCHEMA => {}
+            other => {
+                return Err(format!(
+                    "{}: unsupported schema {:?} (expected {})",
+                    label, other, SCHEMA
+                ))
+            }
+        }
+    }
+    let base = scale_cells(&base_doc).map_err(|e| format!("baseline: {}", e))?;
+    let cur = scale_cells(&cur_doc).map_err(|e| format!("current: {}", e))?;
+    let mut deltas = Vec::new();
+    for (label, wall, calls, bytes, objective) in &cur {
+        let Some((_, b_wall, b_calls, b_bytes, b_obj)) =
+            base.iter().find(|(l, ..)| l == label)
+        else {
+            continue;
+        };
+        deltas.push(ScaleDelta {
+            cell: label.clone(),
+            metric: "wall_ms",
+            baseline: *b_wall,
+            current: *wall,
+            regressed: *wall > b_wall * (1.0 + wall_tol) && wall - b_wall > ABS_FLOOR_MS,
+        });
+        deltas.push(ScaleDelta {
+            cell: label.clone(),
+            metric: "alloc_calls",
+            baseline: *b_calls,
+            current: *calls,
+            regressed: *calls > b_calls * (1.0 + alloc_tol)
+                && calls - b_calls > MEM_ALLOC_FLOOR,
+        });
+        deltas.push(ScaleDelta {
+            cell: label.clone(),
+            metric: "alloc_bytes",
+            baseline: *b_bytes,
+            current: *bytes,
+            regressed: *bytes > b_bytes * (1.0 + alloc_tol)
+                && bytes - b_bytes > MEM_BYTES_FLOOR,
+        });
+        deltas.push(ScaleDelta {
+            cell: label.clone(),
+            metric: "objective",
+            baseline: *b_obj,
+            current: *objective,
+            regressed: b_obj.to_bits() != objective.to_bits(),
+        });
+    }
+    if deltas.is_empty() {
+        return Err(format!(
+            "no cell of the current run matches the baseline (baseline cells: {})",
+            base.iter().map(|(l, ..)| l.as_str()).collect::<Vec<_>>().join(", ")
+        ));
+    }
+    Ok(deltas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> ScaleReport {
+        // One LP-laddered cell, one Smith-laddered cell; small enough to
+        // run in a debug test.
+        run_scale(&[(16, 60), (200, 120)], 11, 32)
+    }
+
+    #[test]
+    fn ladder_selects_lp_below_the_port_limit() {
+        assert_eq!(mode_for(LP_PORT_LIMIT), "windowed-lp");
+        assert_eq!(mode_for(LP_PORT_LIMIT + 1), "rho");
+        let report = tiny_report();
+        assert_eq!(report.cells[0].mode, "windowed-lp");
+        assert_eq!(report.cells[0].window, 32.min(LP_WINDOW));
+        assert_eq!(report.cells[1].mode, "rho");
+        assert_eq!(report.cells[1].window, 32);
+    }
+
+    #[test]
+    fn cells_schedule_everything_deterministically() {
+        let a = tiny_report();
+        let b = tiny_report();
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert!(x.objective > 0.0);
+            assert!(x.makespan > 0);
+            assert!(x.windows > 0);
+            assert_eq!(x.lp_fallbacks, 0, "LP budget must hold at test scale");
+            assert_eq!(x.objective.to_bits(), y.objective.to_bits());
+            assert_eq!(x.makespan, y.makespan);
+        }
+    }
+
+    #[test]
+    fn executor_respects_port_exclusivity_and_releases() {
+        let mut exec = SparseExecutor::new(4);
+        let a = SparseCoflow {
+            id: 0,
+            flows: vec![(0, 1, 3), (0, 2, 2)],
+            release: 0,
+            weight: 1.0,
+        };
+        // Flows share ingress 0: contiguous, back to back.
+        assert_eq!(exec.run(&a), 5);
+        // A released-later coflow on free ports starts at its release.
+        let b = SparseCoflow {
+            id: 1,
+            flows: vec![(3, 3, 2)],
+            release: 10,
+            weight: 1.0,
+        };
+        assert_eq!(exec.run(&b), 12);
+        assert_eq!(exec.horizon(), 12);
+    }
+
+    #[test]
+    fn report_json_round_trips_and_self_compares_clean() {
+        let report = tiny_report();
+        let rendered = render_scale_json(&report);
+        let doc = json::parse(&rendered).expect("scale JSON must parse");
+        assert_eq!(doc.get("schema"), Some(&JsonValue::Str(SCHEMA.to_string())));
+        let Some(JsonValue::Arr(cells)) = doc.get("cells") else {
+            panic!("cells array missing");
+        };
+        assert_eq!(cells.len(), 2);
+        let deltas = compare_scale(&rendered, &rendered, 0.2, 0.25).expect("compare");
+        assert_eq!(deltas.len(), 2 * 4);
+        assert!(deltas.iter().all(|d| !d.regressed));
+    }
+
+    #[test]
+    fn comparison_flags_wall_and_objective_drift() {
+        let report = tiny_report();
+        let baseline = render_scale_json(&report);
+        let mut slowed = report.clone();
+        slowed.cells[0].total_ms = slowed.cells[0].total_ms * 10.0 + 100.0;
+        slowed.cells[1].objective += 1.0;
+        let current = render_scale_json(&slowed);
+        let deltas = compare_scale(&baseline, &current, 0.2, 0.25).expect("compare");
+        let wall = deltas
+            .iter()
+            .find(|d| d.metric == "wall_ms" && d.cell == cell_label(16, 60))
+            .unwrap();
+        assert!(wall.regressed, "10x + 100ms must breach 20% + floor");
+        let obj = deltas
+            .iter()
+            .find(|d| d.metric == "objective" && d.cell == cell_label(200, 120))
+            .unwrap();
+        assert!(obj.regressed, "objective drift is bit-exact");
+        // The untouched cell stays green.
+        assert!(deltas
+            .iter()
+            .filter(|d| d.cell == cell_label(200, 120) && d.metric != "objective")
+            .all(|d| !d.regressed));
+    }
+
+    #[test]
+    fn gate_subset_matches_against_the_full_curve() {
+        let full = render_scale_json(&tiny_report());
+        let subset = render_scale_json(&ScaleReport {
+            seed: 11,
+            window: 32,
+            cells: vec![run_scale_cell(200, 120, 11, 32)],
+        });
+        let deltas = compare_scale(&full, &subset, 0.2, 0.25).expect("compare");
+        assert_eq!(deltas.len(), 4);
+        assert!(deltas.iter().all(|d| d.cell == cell_label(200, 120)));
+        // Objective is bit-stable across separate runs of the same cell.
+        assert!(deltas.iter().all(|d| !d.regressed || d.metric == "wall_ms"));
+        // Disjoint cells are an error, not a silent pass.
+        let foreign = render_scale_json(&ScaleReport {
+            seed: 11,
+            window: 32,
+            cells: vec![run_scale_cell(300, 40, 11, 32)],
+        });
+        assert!(compare_scale(&full, &foreign, 0.2, 0.25).is_err());
+    }
+
+    #[test]
+    fn comparison_rejects_foreign_schemas() {
+        let report = render_scale_json(&tiny_report());
+        assert!(compare_scale("{\"schema\": \"other/9\", \"cells\": []}", &report, 0.2, 0.25)
+            .is_err());
+    }
+}

@@ -83,6 +83,27 @@ impl Instance {
         loads
     }
 
+    /// Per-coflow port loads in flat row-major layout: `(ingress, egress)`
+    /// where `ingress[k * m + i] = Σ_j d^{(k)}_{ij}` and
+    /// `egress[k * m + j] = Σ_i d^{(k)}_{ij}`. One pass over the nonzero
+    /// entries — `O(nnz)` instead of the `O(n·m²)` of calling
+    /// `row_sum`/`col_sums` per coflow — and exact (`u64` sums are
+    /// order-independent), so consumers are bit-identical to the nested
+    /// per-call layout this replaces.
+    pub fn port_loads(&self) -> (Vec<u64>, Vec<u64>) {
+        let m = self.m;
+        let n = self.coflows.len();
+        let mut ingress = vec![0u64; n * m];
+        let mut egress = vec![0u64; n * m];
+        for (k, c) in self.coflows.iter().enumerate() {
+            for (i, j, v) in c.demand.nonzero_entries() {
+                ingress[k * m + i] += v;
+                egress[k * m + j] += v;
+            }
+        }
+        (ingress, egress)
+    }
+
     /// A trivial horizon that any schedule fits in:
     /// `max_k r_k + Σ_k Σ_ij d_ij` (the paper's `T`).
     pub fn naive_horizon(&self) -> u64 {

@@ -47,6 +47,7 @@ pub mod ordering;
 pub mod relax;
 pub mod sched;
 pub mod verify;
+pub mod windowed;
 
 pub use crate::analysis::{analyze, serialization_overhead, ScheduleAnalysis};
 pub use crate::coflow::{Coflow, CoflowRecord};
@@ -67,8 +68,8 @@ pub use crate::relax::{
 };
 pub use crate::sched::engine::{
     greedy_match, run_policy, run_policy_with_faults, BvnBatchPolicy, Decision, Engine,
-    EngineError, EpochState, GreedyPolicy, OnlineOptions, OnlineRhoPolicy, Policy,
-    ResilientPolicy,
+    EngineError, EpochState, GreedyPolicy, HeartbeatPacer, OnlineOptions, OnlineRhoPolicy,
+    Policy, ResilientPolicy,
 };
 pub use crate::sched::snapshot::{
     ActiveBatchState, EngineSnapshot, PolicyState, SNAPSHOT_SCHEMA,
@@ -87,6 +88,10 @@ pub use crate::sched::{
     run_with_order_opts, AlgorithmSpec, ExecOptions, ScheduleOutcome,
 };
 pub use crate::verify::{verify_outcome, VerifyError, VerifyReport};
+pub use crate::windowed::{
+    build_interval_model_sparse, coflow_components, sparse_loads_of, sparse_naive_horizon,
+    try_solve_interval_lp_windowed, try_solve_windowed_sparse, SparseCoflowLoads,
+};
 
 /// The deterministic approximation ratio proven in Theorem 1.
 pub const DETERMINISTIC_RATIO: f64 = 67.0 / 3.0;

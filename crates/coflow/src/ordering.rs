@@ -141,19 +141,21 @@ pub fn try_compute_order_with(
 fn port_primal_dual_order(instance: &Instance) -> Vec<usize> {
     let n = instance.len();
     let m = instance.ports();
-    // "Machine" loads: ingress 0..m, egress m..2m, per coflow.
-    let port_loads: Vec<Vec<u64>> = (0..n)
-        .map(|k| {
-            let d = &instance.coflow(k).demand;
-            (0..m)
-                .map(|i| d.row_sum(i))
-                .chain(d.col_sums())
-                .collect()
-        })
-        .collect();
+    // "Machine" loads, flat with stride 2m: ingress 0..m, egress m..2m, per
+    // coflow (one O(nnz) pass; u64 sums are exact so this is bit-identical
+    // to the nested per-call layout it replaces).
+    let (ingress, egress) = instance.port_loads();
+    let mut port_loads = vec![0u64; n * 2 * m];
+    for k in 0..n {
+        port_loads[k * 2 * m..k * 2 * m + m].copy_from_slice(&ingress[k * m..(k + 1) * m]);
+        port_loads[k * 2 * m + m..(k + 1) * 2 * m].copy_from_slice(&egress[k * m..(k + 1) * m]);
+    }
     let mut total_load = vec![0u64; 2 * m];
-    for loads in &port_loads {
-        for (t, &l) in total_load.iter_mut().zip(loads) {
+    for k in 0..n {
+        for (t, &l) in total_load
+            .iter_mut()
+            .zip(&port_loads[k * 2 * m..(k + 1) * 2 * m])
+        {
             *t += l;
         }
     }
@@ -173,10 +175,10 @@ fn port_primal_dual_order(instance: &Instance) -> Vec<usize> {
         } else {
             let mut best: Option<(usize, f64)> = None;
             for k in 0..n {
-                if !remaining[k] || port_loads[k][port] == 0 {
+                if !remaining[k] || port_loads[k * 2 * m + port] == 0 {
                     continue;
                 }
-                let ratio = residual[k] / port_loads[k][port] as f64;
+                let ratio = residual[k] / port_loads[k * 2 * m + port] as f64;
                 if best.is_none_or(|(_, r)| ratio < r) {
                     best = Some((k, ratio));
                 }
@@ -185,13 +187,16 @@ fn port_primal_dual_order(instance: &Instance) -> Vec<usize> {
                 best.unwrap_or_else(|| unreachable!("max-load port has a contributing coflow"));
             for k in 0..n {
                 if remaining[k] && k != k_star {
-                    residual[k] -= theta * port_loads[k][port] as f64;
+                    residual[k] -= theta * port_loads[k * 2 * m + port] as f64;
                 }
             }
             k_star
         };
         remaining[k_star] = false;
-        for (t, &l) in total_load.iter_mut().zip(&port_loads[k_star]) {
+        for (t, &l) in total_load
+            .iter_mut()
+            .zip(&port_loads[k_star * 2 * m..(k_star + 1) * 2 * m])
+        {
             *t -= l;
         }
         order_rev.push(k_star);

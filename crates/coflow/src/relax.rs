@@ -95,17 +95,9 @@ pub fn build_interval_model_with_grid(
     // Rows that cannot bind (total eligible load ≤ τ_l) are skipped here.
     let mut ingress_rows = 0usize;
     let mut pruned = 0usize;
-    let row_loads: Vec<Vec<u64>> = (0..n)
-        .map(|k| {
-            let d = &instance.coflow(k).demand;
-            (0..m).map(|i| d.row_sum(i)).collect()
-        })
-        .collect();
-    let col_loads: Vec<Vec<u64>> = (0..n)
-        .map(|k| instance.coflow(k).demand.col_sums())
-        .collect();
+    let (ingress_loads, egress_loads) = instance.port_loads();
 
-    for (loads, _is_ingress) in [(&row_loads, true), (&col_loads, false)] {
+    for loads in [&ingress_loads, &egress_loads] {
         for p in 0..m {
             for l in 1..=big_l {
                 let tau_l = grid.point(l);
@@ -113,7 +105,7 @@ pub fn build_interval_model_with_grid(
                 let mut eligible: f64 = 0.0;
                 let mut terms: Vec<(VarId, f64)> = Vec::new();
                 for k in 0..n {
-                    let d = loads[k][p];
+                    let d = loads[k * m + p];
                     if d == 0 {
                         continue;
                     }
@@ -270,22 +262,14 @@ pub fn solve_time_indexed_lp(instance: &Instance) -> LpExpRelaxation {
 
     // Load constraints (8)–(9) at every time point, pruned when they cannot
     // bind.
-    let row_loads: Vec<Vec<u64>> = (0..n)
-        .map(|k| {
-            let d = &instance.coflow(k).demand;
-            (0..m).map(|i| d.row_sum(i)).collect()
-        })
-        .collect();
-    let col_loads: Vec<Vec<u64>> = (0..n)
-        .map(|k| instance.coflow(k).demand.col_sums())
-        .collect();
-    for loads in [&row_loads, &col_loads] {
+    let (ingress_loads, egress_loads) = instance.port_loads();
+    for loads in [&ingress_loads, &egress_loads] {
         for p in 0..m {
             for t in 1..=horizon {
                 let mut eligible = 0u64;
                 let mut terms: Vec<(VarId, f64)> = Vec::new();
                 for k in 0..n {
-                    let d = loads[k][p];
+                    let d = loads[k * m + p];
                     if d == 0 {
                         continue;
                     }

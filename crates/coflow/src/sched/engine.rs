@@ -309,11 +309,76 @@ fn emit_progress(
     });
 }
 
-/// Decision cadence for progress samples on the clean engine, which has no
-/// planning epochs to hook: every 128th decision (plus the first and the
-/// final state) keeps telemetry line counts bounded on big traces while
-/// still heartbeating several times per second on realistic instances.
+/// Initial decision cadence for progress samples on the clean engine (see
+/// [`HeartbeatPacer`]).
 const CLEAN_SAMPLE_EVERY: u64 = 128;
+
+/// Adaptive heartbeat cadence for engines with no planning epochs to hook.
+///
+/// A fixed every-128-decisions sample floods the NDJSON sink on
+/// million-epoch runs (thousands of lines per second when decisions are
+/// cheap) while under-sampling runs with expensive decisions. The pacer
+/// targets a human-scale wall-clock rhythm instead: after each emitted
+/// beat, the decision stride doubles when beats arrive faster than
+/// [`Self::FAST_MS`] and halves when they lag past [`Self::SLOW_MS`],
+/// bounded to `[MIN_STRIDE, MAX_STRIDE]`. The first decision always beats
+/// (matching the old `% == 1` phase), so short runs still emit a sample.
+#[derive(Clone, Copy, Debug)]
+pub struct HeartbeatPacer {
+    stride: u64,
+    next_at: u64,
+}
+
+impl HeartbeatPacer {
+    /// Beats closer together than this double the stride.
+    pub const FAST_MS: f64 = 100.0;
+    /// Beats farther apart than this halve the stride.
+    pub const SLOW_MS: f64 = 2000.0;
+    /// Stride floor: never sample more often than every 16 decisions.
+    pub const MIN_STRIDE: u64 = 16;
+    /// Stride ceiling: even on microsecond decisions, 64Ki decisions per
+    /// heartbeat keeps multi-million-epoch runs to a few hundred lines.
+    pub const MAX_STRIDE: u64 = 65_536;
+
+    /// A pacer starting at `stride` decisions per beat.
+    pub fn new(stride: u64) -> Self {
+        let stride = stride.clamp(Self::MIN_STRIDE, Self::MAX_STRIDE);
+        HeartbeatPacer { stride, next_at: 1 }
+    }
+
+    /// True when the `decisions`-th decision should emit a heartbeat.
+    /// `decisions` counts from 1; the first decision always beats.
+    pub fn due(&self, decisions: u64) -> bool {
+        decisions >= self.next_at
+    }
+
+    /// Records an emitted beat that took `epoch_ms` of wall clock since the
+    /// previous one and schedules the next.
+    pub fn beat(&mut self, decisions: u64, epoch_ms: f64) {
+        if epoch_ms < Self::FAST_MS {
+            self.stride = (self.stride * 2).min(Self::MAX_STRIDE);
+        } else if epoch_ms > Self::SLOW_MS {
+            self.stride = (self.stride / 2).max(Self::MIN_STRIDE);
+        }
+        self.next_at = decisions + self.stride;
+    }
+
+    /// Skips a due beat without adapting the stride (sampling disabled).
+    pub fn skip(&mut self, decisions: u64) {
+        self.next_at = decisions + self.stride;
+    }
+
+    /// Current stride (diagnostics/tests).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+}
+
+impl Default for HeartbeatPacer {
+    fn default() -> Self {
+        HeartbeatPacer::new(CLEAN_SAMPLE_EVERY)
+    }
+}
 
 /// Runs `policy` to completion on a clean fabric.
 ///
@@ -331,6 +396,7 @@ pub fn run_policy<P: Policy + ?Sized>(
     let mut fabric = Fabric::new(instance.ports(), &demands, &releases);
     let mut decisions: u64 = 0;
     let mut last_beat = Instant::now();
+    let mut pacer = HeartbeatPacer::default();
     while !fabric.all_done() {
         let decision = policy.decide(&EpochState {
             now: fabric.now(),
@@ -338,10 +404,20 @@ pub fn run_policy<P: Policy + ?Sized>(
             exec: ExecRef::Clean(&fabric),
         })?;
         decisions += 1;
-        if decisions % CLEAN_SAMPLE_EVERY == 1 && progress_wanted() {
+        if pacer.due(decisions) && {
+            // Advance the pacer even when nobody is listening, so the
+            // cadence (and per-decision cost) stays the same whether or
+            // not telemetry is on.
+            let wanted = progress_wanted();
+            if !wanted {
+                pacer.skip(decisions);
+            }
+            wanted
+        } {
             let beat = Instant::now();
             let epoch_ms = beat.saturating_duration_since(last_beat).as_secs_f64() * 1e3;
             last_beat = beat;
+            pacer.beat(decisions, epoch_ms);
             emit_progress(
                 "engine",
                 policy.name(),
@@ -830,6 +906,8 @@ impl BvnBatchPolicy {
                     agg.as_ref().map(|a| {
                         if opts.maxmin_decomposition {
                             coflow_matching::bvn_decompose_maxmin(a)
+                        } else if opts.sharded_decompose {
+                            coflow_matching::bvn_decompose_sharded(a)
                         } else {
                             bvn_decompose(a)
                         }
@@ -1190,6 +1268,11 @@ impl Policy for BvnBatchPolicy {
                     self.b_idx += 1;
                     continue;
                 }
+                // Residual aggregates (backfill/rematch drained some pairs
+                // mid-run) stay on the sequential decomposition even under
+                // `sharded_decompose`: the sharded merge reorders slots of
+                // multi-component supports, and residual supports disconnect
+                // routinely, which would change the schedule.
                 Some(agg) => {
                     if self.opts.maxmin_decomposition {
                         coflow_matching::bvn_decompose_maxmin(&agg)
@@ -1704,5 +1787,56 @@ mod tests {
         assert_eq!(probe.saw_faults, Some(true));
         assert_eq!(fault_out.replans, 1, "quiet plan charges exactly one epoch");
         assert!(fault_out.completions.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn pacer_first_decision_always_beats() {
+        let pacer = HeartbeatPacer::default();
+        assert!(pacer.due(1));
+    }
+
+    #[test]
+    fn pacer_backs_off_on_fast_beats() {
+        let mut pacer = HeartbeatPacer::default();
+        assert_eq!(pacer.stride(), 128);
+        pacer.beat(1, 1.0); // far below FAST_MS
+        assert_eq!(pacer.stride(), 256);
+        assert!(!pacer.due(128));
+        assert!(pacer.due(257));
+        // Repeated fast beats saturate at the ceiling.
+        let mut d = 257;
+        for _ in 0..20 {
+            pacer.beat(d, 1.0);
+            d += pacer.stride();
+        }
+        assert_eq!(pacer.stride(), HeartbeatPacer::MAX_STRIDE);
+    }
+
+    #[test]
+    fn pacer_speeds_up_on_slow_beats() {
+        let mut pacer = HeartbeatPacer::default();
+        pacer.beat(1, 5000.0); // past SLOW_MS
+        assert_eq!(pacer.stride(), 64);
+        for i in 0..20 {
+            pacer.beat(i, 5000.0);
+        }
+        assert_eq!(pacer.stride(), HeartbeatPacer::MIN_STRIDE);
+    }
+
+    #[test]
+    fn pacer_holds_stride_in_the_target_band() {
+        let mut pacer = HeartbeatPacer::default();
+        pacer.beat(1, 500.0); // between FAST_MS and SLOW_MS
+        assert_eq!(pacer.stride(), 128);
+        assert!(pacer.due(129));
+    }
+
+    #[test]
+    fn pacer_skip_advances_without_adapting() {
+        let mut pacer = HeartbeatPacer::default();
+        pacer.skip(1);
+        assert_eq!(pacer.stride(), 128);
+        assert!(!pacer.due(2));
+        assert!(pacer.due(129));
     }
 }

@@ -324,12 +324,13 @@ fn render_policy(out: &mut String, p: &PolicyState) {
             }
             let _ = write!(
                 out,
-                "],\"opts\":{{\"backfill\":{},\"rematch\":{},\"maxmin\":{},\"sequential\":{}}},\
-                 \"b_idx\":{},\"current\":",
+                "],\"opts\":{{\"backfill\":{},\"rematch\":{},\"maxmin\":{},\"sequential\":{},\
+                 \"sharded\":{}}},\"b_idx\":{},\"current\":",
                 opts.backfill,
                 opts.rematch,
                 opts.maxmin_decomposition,
                 opts.sequential_decompose,
+                opts.sharded_decompose,
                 b_idx
             );
             match current {
@@ -436,6 +437,13 @@ fn get_usize_array(v: &JsonValue, key: &str) -> Result<Vec<usize>, SnapshotError
     Ok(get_u64_array(v, key)?.into_iter().map(|x| x as usize).collect())
 }
 
+fn get_bool_or(v: &JsonValue, key: &str, default: bool) -> Result<bool, SnapshotError> {
+    if field(v, key).is_err() {
+        return Ok(default);
+    }
+    get_bool(v, key)
+}
+
 fn get_bool(v: &JsonValue, key: &str) -> Result<bool, SnapshotError> {
     match field(v, key)? {
         JsonValue::Bool(b) => Ok(*b),
@@ -475,6 +483,9 @@ fn parse_policy(v: &JsonValue) -> Result<PolicyState, SnapshotError> {
                 rematch: get_bool(opts_v, "rematch")?,
                 maxmin_decomposition: get_bool(opts_v, "maxmin")?,
                 sequential_decompose: get_bool(opts_v, "sequential")?,
+                // Absent in checkpoints written before the sharded variant
+                // existed; those runs used the plain path.
+                sharded_decompose: get_bool_or(opts_v, "sharded", false)?,
             };
             let b_idx = get_usize(v, "b_idx")?;
             let current = match field(v, "current")? {

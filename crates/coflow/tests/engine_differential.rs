@@ -551,6 +551,7 @@ fn bvn_policy_matches_frozen_batch_loop() {
                         // parallel precompute has its own differential test
                         // (tests/parallel_decompose.rs).
                         sequential_decompose: true,
+                        sharded_decompose: false,
                     };
                     let new = run_with_order_opts(&inst, order.clone(), grouping, opts);
                     let batches: Vec<Vec<usize>> = if grouping {

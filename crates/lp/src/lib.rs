@@ -37,7 +37,9 @@ pub mod simplex;
 pub mod sparse;
 pub mod verify;
 
-pub use cache::{global_cache, try_solve_cached, try_solve_cached_warm, BasisCache};
+pub use cache::{
+    global_cache, try_solve_cached, try_solve_cached_batch, try_solve_cached_warm, BasisCache,
+};
 pub use error::LpError;
 pub use model::{Constraint, Model, RowId, Sense, Solution, Status, VarId};
 pub use simplex::{

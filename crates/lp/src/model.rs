@@ -26,7 +26,7 @@ pub enum Sense {
 }
 
 /// One constraint row.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Constraint {
     /// Sparse row coefficients as `(variable, coefficient)` pairs.
     pub terms: Vec<(VarId, f64)>,
@@ -37,7 +37,7 @@ pub struct Constraint {
 }
 
 /// A linear program: minimize `c·x` subject to row constraints and `x ≥ 0`.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Model {
     costs: Vec<f64>,
     /// Upper bounds that are *implied by other constraints* (e.g. `x ≤ 1`

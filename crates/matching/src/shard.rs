@@ -1,0 +1,484 @@
+//! Port-disjoint sharding of the Birkhoff–von Neumann decomposition.
+//!
+//! A batch aggregate `D` whose support splits into several connected
+//! components (no shared ingress *or* egress port) is block-diagonal up to
+//! a row/column permutation, and Algorithm 1 factors across the blocks:
+//! each block can be augmented and decomposed independently, and because
+//! the blocks are port-disjoint their matchings can run *concurrently*.
+//! This module detects the components ([`support_components`]), decomposes
+//! the shards in parallel, and merges the per-shard slot sequences into one
+//! full-fabric slot sequence on a shared timeline ([`bvn_decompose_sharded`]).
+//!
+//! Determinism contract: the output is a pure function of `D`. Components
+//! are ordered by their smallest ingress port, padding ports are drawn from
+//! ascending pools, the parallel map preserves input order, and the merge
+//! walks a deterministic boundary overlay — so repeated calls are
+//! bit-identical. On a matrix whose support is a *single* component (every
+//! seed-grid batch aggregate, empirically) the function delegates to
+//! [`bvn_decompose`] and is slot-for-slot identical to the sequential path,
+//! which is what keeps the `BENCH_pins.json` objectives safe when the
+//! sharded path is enabled.
+//!
+//! Makespan is preserved: the merged schedule covers exactly
+//! `ρ(D) = max_c ρ(D_c)` slots, because the load of `D` is attained inside
+//! some component. Shards that finish earlier extend with an idle-identity
+//! matching over their own ports, so every merged slot is still a full
+//! permutation of the fabric.
+
+use crate::bvn::{
+    augment_to_balanced, bvn_decompose, decompose_balanced, record_decomposition_stats,
+    BvnDecomposition, MatchingSlot,
+};
+use crate::matrix::{IntMatrix, Permutation};
+use rayon::prelude::*;
+
+/// One connected component of the support graph of a matrix: the ingress
+/// ports (`rows`) and egress ports (`cols`) reachable from each other
+/// through nonzero entries. Both lists are sorted ascending.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SupportComponent {
+    /// Ingress ports of the component (sorted).
+    pub rows: Vec<usize>,
+    /// Egress ports of the component (sorted).
+    pub cols: Vec<usize>,
+}
+
+/// Minimal union-find over `2m` port nodes (ingress `i` ↔ node `i`,
+/// egress `j` ↔ node `m + j`).
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut r = x;
+        while self.parent[r] as usize != r {
+            r = self.parent[r] as usize;
+        }
+        // Path compression.
+        let mut c = x;
+        while self.parent[c] as usize != r {
+            let next = self.parent[c] as usize;
+            self.parent[c] = r as u32;
+            c = next;
+        }
+        r
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller root wins, so component roots are the
+            // smallest member node.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo as u32;
+        }
+    }
+}
+
+/// Connected components of the support graph of `d`, ordered by smallest
+/// ingress port. Ports carrying no demand belong to no component.
+pub fn support_components(d: &IntMatrix) -> Vec<SupportComponent> {
+    let m = d.dim();
+    let mut uf = UnionFind::new(2 * m);
+    let mut touched_row = vec![false; m];
+    let mut touched_col = vec![false; m];
+    for (i, j, _) in d.nonzero_entries() {
+        uf.union(i, m + j);
+        touched_row[i] = true;
+        touched_col[j] = true;
+    }
+    // Every component of a nonzero support contains at least one ingress
+    // port, and its root (smallest node) is that smallest ingress port.
+    let mut comp_of_root: Vec<Option<usize>> = vec![None; 2 * m];
+    let mut comps: Vec<SupportComponent> = Vec::new();
+    for (i, touched) in touched_row.iter().enumerate() {
+        if !touched {
+            continue;
+        }
+        let root = uf.find(i);
+        let idx = match comp_of_root[root] {
+            Some(idx) => idx,
+            None => {
+                comps.push(SupportComponent {
+                    rows: Vec::new(),
+                    cols: Vec::new(),
+                });
+                comp_of_root[root] = Some(comps.len() - 1);
+                comps.len() - 1
+            }
+        };
+        comps[idx].rows.push(i);
+    }
+    for (j, touched) in touched_col.iter().enumerate() {
+        if !touched {
+            continue;
+        }
+        let root = uf.find(m + j);
+        let idx = comp_of_root[root]
+            .unwrap_or_else(|| unreachable!("a demanded egress port shares a flow with a row"));
+        comps[idx].cols.push(j);
+    }
+    comps
+}
+
+/// One square shard: the global ingress/egress ports backing the local
+/// `s × s` submatrix (component ports first, then padding ports).
+struct Shard {
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+}
+
+/// Plans the square shards: each component padded to a square block with
+/// idle ports from the free pools. Returns `None` when the pools cannot
+/// square every component (the caller then falls back to the sequential
+/// path) — in that case the components genuinely compete for spare port
+/// capacity and a block-disjoint schedule need not exist.
+fn plan_shards(m: usize, comps: &[SupportComponent]) -> Option<Vec<Shard>> {
+    let mut row_used = vec![false; m];
+    let mut col_used = vec![false; m];
+    for c in comps {
+        for &i in &c.rows {
+            row_used[i] = true;
+        }
+        for &j in &c.cols {
+            col_used[j] = true;
+        }
+    }
+    let mut free_rows = (0..m).filter(|&i| !row_used[i]);
+    let mut free_cols = (0..m).filter(|&j| !col_used[j]);
+    let mut shards = Vec::with_capacity(comps.len());
+    for c in comps {
+        let s = c.rows.len().max(c.cols.len());
+        let mut rows = c.rows.clone();
+        let mut cols = c.cols.clone();
+        while rows.len() < s {
+            rows.push(free_rows.next()?);
+        }
+        while cols.len() < s {
+            cols.push(free_cols.next()?);
+        }
+        shards.push(Shard { rows, cols });
+    }
+    Some(shards)
+}
+
+/// The decomposition of one shard, in local index space.
+struct ShardDecomposition {
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    slots: Vec<MatchingSlot>,
+    load: u64,
+}
+
+/// Sharded variant of [`bvn_decompose`]: detects port-disjoint support
+/// components, decomposes each in parallel, and merges the shard schedules
+/// on a shared timeline. Delegates to the sequential path (bit-identically)
+/// when the support has at most one component or the shards cannot be
+/// squared from idle ports.
+///
+/// The result satisfies every [`BvnDecomposition`] invariant: `total_slots`
+/// equals `ρ(D)`, `augmented` dominates `D`, is doubly balanced at `ρ(D)`,
+/// and equals the slot reconstruction. On multi-component matrices the
+/// *slot sequence* (and hence `augmented`) generally differs from the
+/// sequential path — the shards run concurrently instead of interleaved —
+/// which is why the sharded path is opt-in at the scheduling layer.
+pub fn bvn_decompose_sharded(d: &IntMatrix) -> BvnDecomposition {
+    let comps = support_components(d);
+    if comps.len() <= 1 {
+        return bvn_decompose(d);
+    }
+    let Some(shards) = plan_shards(d.dim(), &comps) else {
+        return bvn_decompose(d);
+    };
+    let _span = obs::span("matching.bvn_decompose");
+    obs::counter_add("matching.bvn.shards", comps.len() as u64);
+    let decomposed: Vec<ShardDecomposition> = shards
+        .par_iter()
+        .map(|shard| {
+            let s = shard.rows.len();
+            let mut sub = IntMatrix::zeros(s);
+            for (a, &i) in shard.rows.iter().enumerate() {
+                for (b, &j) in shard.cols.iter().enumerate() {
+                    sub[(a, b)] = d[(i, j)];
+                }
+            }
+            let load = sub.load();
+            let balanced = augment_to_balanced(&sub);
+            let slots = decompose_balanced(&balanced);
+            ShardDecomposition {
+                rows: shard.rows.clone(),
+                cols: shard.cols.clone(),
+                slots,
+                load,
+            }
+        })
+        .collect();
+    let merged = merge_shards(d.dim(), d.load(), &decomposed);
+    let mut augmented = IntMatrix::zeros(d.dim());
+    for slot in &merged {
+        for (i, j) in slot.perm.pairs() {
+            augmented[(i, j)] += slot.count;
+        }
+    }
+    debug_assert!(augmented.dominates(d));
+    debug_assert!(augmented.is_doubly_balanced(d.load()));
+    record_decomposition_stats(d.dim(), merged.len());
+    BvnDecomposition {
+        augmented,
+        slots: merged,
+        load: d.load(),
+    }
+}
+
+/// Overlays the shard slot sequences on one timeline of `total` slots.
+/// Each merged segment composes the active permutation of every shard
+/// (local identity once a shard's own `ρ` is exhausted) plus the constant
+/// ascending pairing of the idle leftover ports.
+fn merge_shards(m: usize, total: u64, shards: &[ShardDecomposition]) -> Vec<MatchingSlot> {
+    debug_assert_eq!(
+        total,
+        shards.iter().map(|s| s.load).max().unwrap_or(0),
+        "the global load is attained inside some component"
+    );
+    // Leftover ports: in no shard (components + padding). Equal counts on
+    // both sides, paired ascending.
+    let mut row_free = vec![true; m];
+    let mut col_free = vec![true; m];
+    for s in shards {
+        for &i in &s.rows {
+            row_free[i] = false;
+        }
+        for &j in &s.cols {
+            col_free[j] = false;
+        }
+    }
+    let leftover_rows: Vec<usize> = (0..m).filter(|&i| row_free[i]).collect();
+    let leftover_cols: Vec<usize> = (0..m).filter(|&j| col_free[j]).collect();
+    debug_assert_eq!(leftover_rows.len(), leftover_cols.len());
+
+    // Per-shard cursor: current slot index and slots consumed within it.
+    let mut cursor: Vec<(usize, u64)> = vec![(0, 0); shards.len()];
+    let mut merged: Vec<MatchingSlot> = Vec::new();
+    let mut t: u64 = 0;
+    let mut map = vec![0usize; m];
+    while t < total {
+        // Segment length: until the nearest shard slot boundary (or the
+        // end of the timeline for shards already in extension).
+        let mut seg = total - t;
+        for (s, &(si, used)) in shards.iter().zip(&cursor) {
+            if si < s.slots.len() {
+                seg = seg.min(s.slots[si].count - used);
+            }
+        }
+        debug_assert!(seg > 0);
+        // Compose the full-fabric permutation for this segment.
+        for (s, &(si, _)) in shards.iter().zip(&cursor) {
+            if si < s.slots.len() {
+                for (a, b) in s.slots[si].perm.pairs() {
+                    map[s.rows[a]] = s.cols[b];
+                }
+            } else {
+                // Extension: the shard idles on its own ports.
+                for (a, &i) in s.rows.iter().enumerate() {
+                    map[i] = s.cols[a];
+                }
+            }
+        }
+        for (&i, &j) in leftover_rows.iter().zip(&leftover_cols) {
+            map[i] = j;
+        }
+        merged.push(MatchingSlot {
+            perm: Permutation::new(map.clone()),
+            count: seg,
+        });
+        t += seg;
+        for (s, cur) in shards.iter().zip(cursor.iter_mut()) {
+            if cur.0 < s.slots.len() {
+                cur.1 += seg;
+                if cur.1 == s.slots[cur.0].count {
+                    *cur = (cur.0 + 1, 0);
+                }
+                debug_assert!(cur.0 >= s.slots.len() || cur.1 < s.slots[cur.0].count);
+            }
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Embeds `block` into an `m × m` matrix at the given row/col offsets.
+    fn embed(m: usize, block: &IntMatrix, ri: usize, ci: usize) -> IntMatrix {
+        let mut out = IntMatrix::zeros(m);
+        for (i, j, v) in block.nonzero_entries() {
+            out[(ri + i, ci + j)] = v;
+        }
+        out
+    }
+
+    fn check_sharded_invariants(d: &IntMatrix) {
+        let dec = bvn_decompose_sharded(d);
+        assert_eq!(dec.load, d.load());
+        assert_eq!(dec.total_slots(), d.load());
+        assert!(dec.augmented.dominates(d));
+        assert!(dec.augmented.is_doubly_balanced(d.load()));
+        assert_eq!(dec.reconstruct(), dec.augmented);
+        // Determinism: a second run is identical slot for slot.
+        let again = bvn_decompose_sharded(d);
+        assert_eq!(dec.slots, again.slots);
+        assert_eq!(dec.augmented, again.augmented);
+    }
+
+    #[test]
+    fn single_component_is_identical_to_sequential() {
+        let d = IntMatrix::from_nested(&[[1, 2], [2, 1]]);
+        let sharded = bvn_decompose_sharded(&d);
+        let sequential = bvn_decompose(&d);
+        assert_eq!(sharded.slots, sequential.slots);
+        assert_eq!(sharded.augmented, sequential.augmented);
+    }
+
+    #[test]
+    fn components_of_block_diagonal_matrix() {
+        // Two disjoint blocks: {0,1}x{0,1} and {2}x{2}.
+        let mut d = IntMatrix::zeros(3);
+        d[(0, 0)] = 1;
+        d[(0, 1)] = 2;
+        d[(1, 0)] = 3;
+        d[(2, 2)] = 5;
+        let comps = support_components(&d);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].rows, vec![0, 1]);
+        assert_eq!(comps[0].cols, vec![0, 1]);
+        assert_eq!(comps[1].rows, vec![2]);
+        assert_eq!(comps[1].cols, vec![2]);
+    }
+
+    #[test]
+    fn off_diagonal_component_detection() {
+        // Rows {0} -> cols {1, 2}: one component with unequal sides.
+        let mut d = IntMatrix::zeros(3);
+        d[(0, 1)] = 4;
+        d[(0, 2)] = 1;
+        let comps = support_components(&d);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].rows, vec![0]);
+        assert_eq!(comps[0].cols, vec![1, 2]);
+    }
+
+    #[test]
+    fn sharded_block_diagonal_runs_concurrently() {
+        // Two Fig-1 blocks side by side: each has rho 3, so the sharded
+        // schedule finishes in 3 slots (the sequential path also covers
+        // rho(D) = 3 here since the loads coincide).
+        let fig1 = IntMatrix::from_nested(&[[1, 2], [2, 1]]);
+        let d = &embed(4, &fig1, 0, 0) + &embed(4, &fig1, 2, 2);
+        assert_eq!(d.load(), 3);
+        check_sharded_invariants(&d);
+        let dec = bvn_decompose_sharded(&d);
+        // Every slot serves both blocks at once: permutations keep block
+        // ports inside their own block.
+        for slot in &dec.slots {
+            for (i, j) in slot.perm.pairs() {
+                assert_eq!(i < 2, j < 2, "slot leaks across the port partition");
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_blocks_extend_with_identity() {
+        // Block A: rho 5; block B: rho 2. Timeline is 5 slots; B idles on
+        // its own ports after slot 2.
+        let a = IntMatrix::from_nested(&[[5]]);
+        let b = IntMatrix::from_nested(&[[2]]);
+        let d = &embed(2, &a, 0, 0) + &embed(2, &b, 1, 1);
+        check_sharded_invariants(&d);
+        let dec = bvn_decompose_sharded(&d);
+        assert_eq!(dec.total_slots(), 5);
+        // Augmentation credits B's pair with the full 5 slots (idle
+        // extension), keeping the matrix doubly balanced.
+        assert_eq!(dec.augmented[(1, 1)], 5);
+    }
+
+    #[test]
+    fn rectangular_components_use_padding_ports() {
+        // Component rows {0} -> cols {0, 1} needs one padding ingress; row 2
+        // is free (no demand) and gets drafted. Component {1}x{2} squares
+        // on its own.
+        let mut d = IntMatrix::zeros(3);
+        d[(0, 0)] = 2;
+        d[(0, 1)] = 1;
+        d[(1, 2)] = 4;
+        check_sharded_invariants(&d);
+    }
+
+    #[test]
+    fn unsquarable_components_fall_back_to_sequential() {
+        // Rows {0}->cols{0,1} and rows{1,2}->cols{2}: padding would need a
+        // free ingress AND a free egress, but all 3 of each are taken.
+        let mut d = IntMatrix::zeros(3);
+        d[(0, 0)] = 1;
+        d[(0, 1)] = 1;
+        d[(1, 2)] = 1;
+        d[(2, 2)] = 1;
+        assert_eq!(support_components(&d).len(), 2);
+        let sharded = bvn_decompose_sharded(&d);
+        let sequential = bvn_decompose(&d);
+        assert_eq!(sharded.slots, sequential.slots);
+        assert_eq!(sharded.augmented, sequential.augmented);
+    }
+
+    #[test]
+    fn random_multi_component_matrices_hold_invariants() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let blocks = 2 + (seed as usize % 3);
+            let bs = 2 + (seed as usize % 2);
+            let m = blocks * bs + 2;
+            let mut d = IntMatrix::zeros(m);
+            for b in 0..blocks {
+                for i in 0..bs {
+                    for j in 0..bs {
+                        if rng.gen_bool(0.7) {
+                            d[(b * bs + i, b * bs + j)] = rng.gen_range(1..=9);
+                        }
+                    }
+                }
+            }
+            if d.load() == 0 {
+                continue;
+            }
+            check_sharded_invariants(&d);
+            // Coverage: the merged schedule serves all of D (augmented
+            // dominates), so replaying the slots clears every pair.
+            let dec = bvn_decompose_sharded(&d);
+            let mut rem = d.clone();
+            for slot in &dec.slots {
+                for (i, j) in slot.perm.pairs() {
+                    let take = rem[(i, j)].min(slot.count);
+                    rem[(i, j)] -= take;
+                }
+            }
+            assert!(rem.is_zero(), "seed {}: demand left unserved", seed);
+        }
+    }
+
+    #[test]
+    fn zero_matrix_delegates() {
+        let d = IntMatrix::zeros(4);
+        let dec = bvn_decompose_sharded(&d);
+        assert!(dec.slots.is_empty());
+        assert_eq!(dec.load, 0);
+    }
+}

@@ -51,10 +51,22 @@ impl Run {
     pub fn slot_moves(&self) -> Vec<Vec<(usize, usize, usize)>> {
         let mut slots: Vec<Vec<(usize, usize, usize)>> =
             vec![Vec::new(); self.duration as usize];
-        let mut pair_used: std::collections::HashMap<(usize, usize), u64> =
-            std::collections::HashMap::new();
+        // Per-pair consumed units, indexed flat by source port. A valid
+        // run is a matching, so each source's list holds one destination;
+        // unvalidated runs (the slot-wise fallback path feeds them here)
+        // may pair a source with several, hence the inner list.
+        let bound = self.transfers.iter().map(|t| t.src + 1).max().unwrap_or(0);
+        let mut pair_used: Vec<Vec<(usize, u64)>> = vec![Vec::new(); bound];
         for t in &self.transfers {
-            let used = pair_used.entry((t.src, t.dst)).or_insert(0);
+            let list = &mut pair_used[t.src];
+            let slot = match list.iter().position(|(d, _)| *d == t.dst) {
+                Some(i) => i,
+                None => {
+                    list.push((t.dst, 0));
+                    list.len() - 1
+                }
+            };
+            let used = &mut list[slot].1;
             for o in *used..*used + t.units {
                 slots[o as usize].push((t.src, t.dst, t.coflow));
             }

@@ -94,22 +94,36 @@ pub fn validate_trace(
     let mut completion: Vec<u64> = releases.to_vec();
     let mut last_activity: Vec<u64> = vec![0; n];
 
+    // Per-port scratch, allocated once and cleared between runs through the
+    // touched lists (runs touch ≤ m ports, typically far fewer, so clearing
+    // by touched entry beats re-zeroing — and the flat layout replaces the
+    // per-run pair HashMap/HashSet churn). Within a valid run each ingress
+    // port serves a single destination, so pair state — the destination and
+    // the units consumed so far — indexes by source port.
+    let mut src_used = vec![false; m];
+    let mut dst_used = vec![false; m];
+    let mut pair_dst = vec![usize::MAX; m];
+    let mut pair_units = vec![0u64; m];
+    let mut touched_src: Vec<usize> = Vec::new();
+    let mut touched_dst: Vec<usize> = Vec::new();
+
     for (ridx, run) in trace.runs.iter().enumerate() {
-        let mut src_used = vec![false; m];
-        let mut dst_used = vec![false; m];
-        // Units already consumed on each pair (for offset accounting). Pairs
-        // appear contiguously in `transfers` by construction, but we do not
-        // rely on that: track per-pair usage in a map keyed by pair.
-        let mut pair_used: std::collections::HashMap<(usize, usize), u64> =
-            std::collections::HashMap::new();
-        let mut pair_seen: std::collections::HashSet<(usize, usize)> =
-            std::collections::HashSet::new();
+        for &s in &touched_src {
+            src_used[s] = false;
+            pair_dst[s] = usize::MAX;
+            pair_units[s] = 0;
+        }
+        for &d in &touched_dst {
+            dst_used[d] = false;
+        }
+        touched_src.clear();
+        touched_dst.clear();
 
         for t in &run.transfers {
             if t.coflow >= n {
                 return Err(ValidationError::UnknownCoflow { coflow: t.coflow });
             }
-            if pair_seen.insert((t.src, t.dst)) {
+            if pair_dst[t.src] != t.dst {
                 if src_used[t.src] {
                     return Err(ValidationError::PortReused {
                         run: ridx,
@@ -126,8 +140,11 @@ pub fn validate_trace(
                 }
                 src_used[t.src] = true;
                 dst_used[t.dst] = true;
+                pair_dst[t.src] = t.dst;
+                touched_src.push(t.src);
+                touched_dst.push(t.dst);
             }
-            let used = pair_used.entry((t.src, t.dst)).or_insert(0);
+            let used = &mut pair_units[t.src];
             if *used + t.units > run.duration {
                 return Err(ValidationError::PairOverCapacity {
                     run: ridx,

@@ -111,11 +111,16 @@ pub fn generate_trace(config: &TraceConfig) -> Instance {
 
     let mut coflows = Vec::with_capacity(config.num_coflows);
     let mut arrival: f64 = 0.0;
+    // Shuffle scratch reused across coflows (the per-coflow `(0..m)`
+    // collect used to dominate generator allocations at large m); the RNG
+    // draw sequence is unchanged, so traces stay bit-identical.
+    let mut src = Vec::with_capacity(m);
+    let mut dst = Vec::with_capacity(m);
     for id in 0..config.num_coflows {
         let mappers = (fan_dist.sample(&mut rng).round() as usize).clamp(1, m);
         let reducers = (fan_dist.sample(&mut rng).round() as usize).clamp(1, m);
-        let src = sample_ports(&mut rng, m, mappers);
-        let dst = sample_ports(&mut rng, m, reducers);
+        sample_ports_into(&mut rng, m, mappers, &mut src);
+        sample_ports_into(&mut rng, m, reducers, &mut dst);
         let scale = if config.coflow_scale_sigma > 0.0 {
             scale_dist.sample(&mut rng)
         } else {
@@ -141,15 +146,22 @@ pub fn generate_trace(config: &TraceConfig) -> Instance {
     Instance::new(m, coflows)
 }
 
-/// Uniform random subset of `count` distinct ports (partial Fisher–Yates).
-fn sample_ports<R: Rng + ?Sized>(rng: &mut R, m: usize, count: usize) -> Vec<usize> {
-    let mut ports: Vec<usize> = (0..m).collect();
+/// Uniform random subset of `count` distinct ports (partial Fisher–Yates)
+/// into a caller-owned scratch buffer. Draws exactly `count` values from
+/// `rng` regardless of the buffer's prior contents.
+pub(crate) fn sample_ports_into<R: Rng + ?Sized>(
+    rng: &mut R,
+    m: usize,
+    count: usize,
+    ports: &mut Vec<usize>,
+) {
+    ports.clear();
+    ports.extend(0..m);
     for i in 0..count {
         let j = rng.gen_range(i..m);
         ports.swap(i, j);
     }
     ports.truncate(count);
-    ports
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@ pub mod filters;
 pub mod io;
 pub mod json;
 pub mod stats;
+pub mod stream;
 pub mod synthetic;
 
 pub use error::TraceError;
@@ -25,6 +26,7 @@ pub use error::TraceError;
 pub use facebook::{generate_trace, TraceConfig, FACEBOOK_RACKS};
 pub use filters::{assign_weights, filter_by_width, WeightScheme};
 pub use stats::{render_stats, trace_stats, TraceStats};
+pub use stream::{CoflowStream, SparseCoflow, StreamConfig};
 pub use synthetic::{
     appendix_b_instance, random_diagonal_instance, random_instance,
     random_instance_with_releases,

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
-# Consolidated gate runner: clippy, perf, mem, explain, chaos — in that
-# order, never aborting early, so one invocation reports every gate's
-# status. Appends ONE coflow-ledger/1 verdict record carrying all five
+# Consolidated gate runner: clippy, perf, mem, scale, explain, chaos — in
+# that order, never aborting early, so one invocation reports every gate's
+# status. Appends ONE coflow-ledger/1 verdict record carrying all six
 # statuses (gate `check-all`), prints a pass/fail summary table, and
 # exits nonzero if any gate failed.
 #
@@ -18,7 +18,7 @@
 set -u
 cd "$(dirname "$0")/.."
 
-CLIPPY=fail PERF=fail MEM=fail EXPLAIN=fail CHAOS=fail
+CLIPPY=fail PERF=fail MEM=fail SCALE=fail EXPLAIN=fail CHAOS=fail
 
 echo "=== clippy ==="
 sh scripts/check-clippy.sh && CLIPPY=pass
@@ -32,6 +32,10 @@ echo "=== mem ==="
 sh scripts/check-mem.sh && MEM=pass
 
 echo ""
+echo "=== scale ==="
+sh scripts/check-scale.sh && SCALE=pass
+
+echo ""
 echo "=== explain ==="
 sh scripts/check-explain.sh && EXPLAIN=pass
 
@@ -40,7 +44,7 @@ echo "=== chaos ==="
 sh scripts/check-chaos.sh && CHAOS=pass
 
 OVERALL=pass
-for s in "$CLIPPY" "$PERF" "$MEM" "$EXPLAIN" "$CHAOS"; do
+for s in "$CLIPPY" "$PERF" "$MEM" "$SCALE" "$EXPLAIN" "$CHAOS"; do
     [ "$s" = "pass" ] || OVERALL=fail
 done
 
@@ -48,8 +52,8 @@ done
 cargo run --release -q -p coflow-bench --bin experiments -- \
     verdict --gate check-all --status "$OVERALL" \
     --verdict "clippy=$CLIPPY" --verdict "perf=$PERF" \
-    --verdict "mem=$MEM" --verdict "explain=$EXPLAIN" \
-    --verdict "chaos=$CHAOS" || true
+    --verdict "mem=$MEM" --verdict "scale=$SCALE" \
+    --verdict "explain=$EXPLAIN" --verdict "chaos=$CHAOS" || true
 
 echo ""
 echo "gate      status"
@@ -57,6 +61,7 @@ echo "--------  ------"
 printf '%-8s  %s\n' clippy "$CLIPPY"
 printf '%-8s  %s\n' perf "$PERF"
 printf '%-8s  %s\n' mem "$MEM"
+printf '%-8s  %s\n' scale "$SCALE"
 printf '%-8s  %s\n' explain "$EXPLAIN"
 printf '%-8s  %s\n' chaos "$CHAOS"
 echo "--------  ------"

@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# CI scale gate, wired next to check-perf.sh / check-mem.sh: re-run the
+# m=1,000 / 10,000-coflow cell of the streaming scale sweep in release
+# mode and fail when it regresses against the committed BENCH_scale.json
+# curve. Gated per the two-sided rule the other gates use — a breach needs
+# the fractional tolerance AND the absolute noise floor:
+#
+#   * wall-clock past SCALE_TOLERANCE (default +20%) over the 10 ms floor;
+#   * allocation calls/bytes past SCALE_MEM_TOLERANCE (default +25%) over
+#     the mem-gate floors (10k calls / 1 MiB);
+#   * the objective compared BIT-EXACTLY — the streamed schedule is
+#     deterministic, so any drift is a behavioral change, not noise.
+#
+# Peak RSS is recorded in the report but never gated (machine-dependent).
+# The gate cell checks against the full committed curve (cells are matched
+# by their m=…/n=… label), and the verdict lands on the run ledger.
+#
+# Usage:
+#   scripts/check-scale.sh                      # gate at +20% / +25%
+#   SCALE_TOLERANCE=0.5 scripts/check-scale.sh  # looser for shared boxes
+#   SCALE_CELL=10000x100000 scripts/check-scale.sh  # gate a bigger cell
+set -eu
+cd "$(dirname "$0")/.."
+
+BASELINE="${SCALE_BASELINE:-BENCH_scale.json}"
+CELL="${SCALE_CELL:-1000x10000}"
+
+# On exit, append a coflow-ledger/1 verdict record (best-effort) so
+# `experiments -- report` shows the gate history.
+STATUS=fail
+append_verdict() {
+    cargo run --release -q -p coflow-bench --bin experiments -- \
+        verdict --gate check-scale --status "$STATUS" >/dev/null 2>&1 || true
+}
+trap append_verdict EXIT
+
+# Fail fast, with the regeneration command, before any expensive run.
+if [ ! -s "$BASELINE" ]; then
+    echo "error: scale baseline '$BASELINE' is missing or empty." >&2
+    echo "Regenerate it with:" >&2
+    echo "    cargo run --release -p coflow-bench --bin experiments -- scale --out $BASELINE" >&2
+    exit 1
+fi
+
+cargo run --release -q -p coflow-bench --bin experiments -- \
+    scale --cell "$CELL" --check "$BASELINE" \
+    --tolerance "${SCALE_TOLERANCE:-0.2}" \
+    --mem-tolerance "${SCALE_MEM_TOLERANCE:-0.25}" "$@"
+
+STATUS=pass
