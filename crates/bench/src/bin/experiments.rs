@@ -14,6 +14,9 @@
 //!                   [--tolerance F] [--mem-tolerance F] [--seed N]
 //! experiments chaos [--kills N] [--windows N] [--faults RATE]
 //!                   [--out PATH] [--validate PATH] [--seed N]
+//! experiments tournament [--policies a,b,c|all] [--out BENCH_tournament.json]
+//!                        [--check PATH] [--tolerance F] [--seed N]
+//! experiments faults [--policies a,b,c] [--seed N]
 //! experiments diff [A] [B] [--tolerance F] [--out PATH] [--ledger PATH]
 //! experiments report [--out dash.html] [--ledger PATH]
 //! experiments verdict --gate NAME [--status pass|fail] [--verdict K=V]...
@@ -109,13 +112,30 @@
 //! (default 1.0 = +100%, floored at 50 ms); with `--out` it writes a fresh
 //! pin file (used by `scripts/check-perf.sh`).
 //!
+//! `tournament` races a registry selection of schedulers (`--policies
+//! a,b,c`, default `all` = the canonical six) across the whole harness on
+//! the canonical arrivals instance: a clean round (TWCT and measured
+//! approximation ratio against the interval-LP lower bound, per-policy
+//! wall-clock), a fault round under one shared rate-0.20 plan (objective
+//! inflation over the surviving coflows), and a windowed scale round where
+//! each policy's ordering analog streams the 96×960 cell through the
+//! sparse executor. The `coflow-tournament/1` report lands at `--out`
+//! (default `BENCH_tournament.json`), is self-validated (every ratio ≥ 1
+//! and within the policy's proven bound), and with `--check` is diffed
+//! against the committed golden — objectives/ratios bit-exact, wall-clock
+//! within `--tolerance` (default 0.35) over the absolute floor — which is
+//! `scripts/check-tournament.sh`. The `faults` subcommand accepts the same
+//! `--policies` list to extend its engine-policy table beyond the default
+//! online/online-stale/greedy trio.
+//!
 //! Table 1 and the figures run on the synthetic Facebook-like trace at the
 //! documented reduced scale; `lpexp` runs on a further reduced instance
 //! because (LP-EXP) is exponential in the horizon; `ratios` measures true
 //! approximation ratios on tiny instances via the exact solver.
 
 use coflow_bench::faults::{
-    render_fault_policies, render_faults, run_fault_policies, run_faults,
+    render_fault_policies, render_faults, run_fault_policies, run_fault_policies_selected,
+    run_faults,
 };
 use coflow_bench::figures::{run_fig2a, run_fig2b};
 use coflow_bench::lowerbound::run_lowerbound;
@@ -221,6 +241,25 @@ impl Default for ChaosArgs {
     }
 }
 
+/// Options of the `tournament` subcommand.
+struct TournamentArgs {
+    out: String,
+    check: Option<String>,
+    tolerance: f64,
+    policies: String,
+}
+
+impl Default for TournamentArgs {
+    fn default() -> Self {
+        TournamentArgs {
+            out: "BENCH_tournament.json".to_string(),
+            check: None,
+            tolerance: 0.35,
+            policies: "all".to_string(),
+        }
+    }
+}
+
 /// Options of the `explain` subcommand.
 struct ExplainArgs {
     out: String,
@@ -258,6 +297,8 @@ fn main() {
     let mut pin_args = PinArgs::default();
     let mut chaos_args = ChaosArgs::default();
     let mut scale_args = ScaleArgs::default();
+    let mut tournament_args = TournamentArgs::default();
+    let mut fault_policies_flag: Option<String> = None;
     let mut ledger_flag: Option<String> = None;
     let mut out_flag: Option<String> = None;
     let mut tolerance_flag: Option<f64> = None;
@@ -294,6 +335,7 @@ fn main() {
                 chaos_args.out = value.clone();
                 pin_args.out = Some(value.clone());
                 scale_args.out = value.clone();
+                tournament_args.out = value.clone();
                 out_flag = Some(value);
             }
             "--ports" => scale_args.ports = Some(parse_usize_list(&value_of("--ports"), "--ports")),
@@ -420,7 +462,13 @@ fn main() {
             "--check" => {
                 let value = value_of("--check");
                 pin_args.check = Some(value.clone());
-                scale_args.check = Some(value);
+                scale_args.check = Some(value.clone());
+                tournament_args.check = Some(value);
+            }
+            "--policies" => {
+                let value = value_of("--policies");
+                tournament_args.policies = value.clone();
+                fault_policies_flag = Some(value);
             }
             "--tolerance" => {
                 let value = value_of("--tolerance");
@@ -434,6 +482,7 @@ fn main() {
                 profile_args.tolerance = parsed;
                 pin_args.tolerance = parsed;
                 scale_args.wall_tolerance = parsed;
+                tournament_args.tolerance = parsed;
                 tolerance_flag = Some(parsed);
             }
             "--full" => profile_args.full = true,
@@ -461,12 +510,13 @@ fn main() {
         "gridsweep" => gridsweep(seed),
         "integrality" => integrality(seed),
         "arrivals" => arrivals(seed),
-        "faults" => faults(seed),
+        "faults" => faults(seed, fault_policies_flag.as_deref()),
         "profile" => profile(seed, &profile_args, &ledger, started),
         "explain" => explain(seed, &explain_args),
         "pin" => pin(seed, &pin_args, &ledger, started),
         "scale" => scale(seed, &scale_args, &ledger, started),
         "chaos" => chaos(seed, &chaos_args),
+        "tournament" => tournament(seed, &tournament_args, &ledger, started),
         "diff" => diff_cmd(&extras, tolerance_flag, &ledger, out_flag.as_deref()),
         "report" => report_cmd(&ledger, out_flag.as_deref()),
         "verdict" => verdict_cmd(
@@ -485,11 +535,11 @@ fn main() {
             gridsweep(seed);
             integrality(seed);
             arrivals(seed);
-            faults(seed);
+            faults(seed, None);
         }
         other => {
             eprintln!(
-                "unknown experiment '{}'; expected table1|fig2a|fig2b|lpexp|ratios|gridsweep|integrality|arrivals|faults|profile|explain|pin|scale|chaos|diff|report|verdict|all",
+                "unknown experiment '{}'; expected table1|fig2a|fig2b|lpexp|ratios|gridsweep|integrality|arrivals|faults|tournament|profile|explain|pin|scale|chaos|diff|report|verdict|all",
                 other
             );
             std::process::exit(2);
@@ -1150,7 +1200,7 @@ fn integrality(seed: u64) {
     println!("{}", coflow_bench::integrality::render_integrality(&report));
 }
 
-fn faults(seed: u64) {
+fn faults(seed: u64, policies: Option<&str>) {
     // Full 150-port fabric (the paper's cluster size): presolve keeps the
     // interval LP tractable, and the solver budgets below turn any
     // numerical trouble into recorded fallback-tier degradation instead of
@@ -1181,10 +1231,36 @@ fn faults(seed: u64) {
     let report = run_faults(&inst, &rates, seed, &lp_opts);
     print!("{}", render_faults(&report));
     exit_if_interrupted("fault-sweep table (printed above)");
-    // The engine-only policies (online fresh/stale, greedy) under the same
-    // seeded plans — the combinations the unified engine made possible.
-    let policies = run_fault_policies(&inst, &rates, seed);
-    print!("{}", render_fault_policies(&policies));
+    // The engine-only policies under the same seeded plans — the default
+    // online/online-stale/greedy trio, or any fault-capable registry
+    // selection via --policies (with `all` = every fault-capable canonical
+    // policy; the open-loop BvN batch planner sits this table out).
+    let report = match policies {
+        Some(spec) => {
+            let names: Vec<String> = if spec == "all" {
+                coflow::PolicyRegistry::builtin()
+                    .canonical()
+                    .into_iter()
+                    .filter(|e| e.caps.supports_faults)
+                    .map(|e| e.name.to_string())
+                    .collect()
+            } else {
+                spec.split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            };
+            match run_fault_policies_selected(&inst, &rates, seed, &names) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: --policies {}: {}", spec, e);
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => run_fault_policies(&inst, &rates, seed),
+    };
+    print!("{}", render_fault_policies(&report));
     exit_if_interrupted("fault-policy table (printed above)");
 }
 
@@ -1374,6 +1450,121 @@ fn pin(seed: u64, args: &PinArgs, ledger: &Option<String>, started: std::time::I
         };
         rec.verdicts.push(("pin-check".to_string(), status.to_string()));
     }
+    append_ledger(ledger, rec);
+    if gate_failed {
+        std::process::exit(1);
+    }
+}
+
+fn tournament(
+    seed: u64,
+    args: &TournamentArgs,
+    ledger: &Option<String>,
+    started: std::time::Instant,
+) {
+    use coflow_bench::tournament::{
+        compare_tournament, render_tournament, render_tournament_json, run_tournament,
+        validate_tournament_json,
+    };
+
+    // Read the committed golden *before* the runs so a missing/truncated
+    // file fails in milliseconds with the regeneration command.
+    let baseline = args.check.as_ref().map(|check| {
+        let regen = format!(
+            "cargo run --release -p coflow-bench --bin experiments -- tournament --out {}",
+            check
+        );
+        read_baseline_file(check, "tournament golden", &regen)
+    });
+
+    let inst = coflow_bench::arrivals::arrivals_instance(24, 36, seed);
+    println!(
+        "# tournament: 24 ports, 36 coflows, selection '{}', seed {}",
+        args.policies, seed
+    );
+    let report = match run_tournament(&inst, seed, &args.policies) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {}", e);
+            std::process::exit(2);
+        }
+    };
+    print!("{}", render_tournament(&report));
+    let rendered = render_tournament_json(&report);
+
+    // A gate run (--check without an explicit --out elsewhere) must not
+    // clobber the committed golden.
+    let write_out = args.check.is_none()
+        || (args.out != "BENCH_tournament.json"
+            && Some(args.out.as_str()) != args.check.as_deref());
+    if write_out {
+        write_report(&args.out, "tournament report", &rendered);
+        println!("# tournament report written to {}", args.out);
+    }
+    exit_if_interrupted(&args.out);
+
+    let mut gate_entries: Vec<(String, String)> = Vec::new();
+    let mut gate_failed = false;
+
+    // Close the loop: the fresh report must satisfy its own validator —
+    // every ratio >= 1 and within the policy's proven bound, canonical
+    // registry coverage, fault-round consistency.
+    match validate_tournament_json(&rendered) {
+        Ok(summary) => {
+            println!("# {}", summary);
+            gate_entries.push(("tournament-validate".to_string(), "pass".to_string()));
+        }
+        Err(e) => {
+            eprintln!("error: fresh tournament report failed validation: {}", e);
+            gate_entries.push(("tournament-validate".to_string(), "fail".to_string()));
+            gate_failed = true;
+        }
+    }
+
+    if let Some(baseline) = baseline {
+        let check = args.check.as_deref().unwrap_or_default();
+        match compare_tournament(&baseline, &rendered, args.tolerance) {
+            Ok(deltas) => {
+                let mut regressed = false;
+                println!(
+                    "# tournament comparison vs {} (objectives bit-exact, wall +{:.0}%):",
+                    check,
+                    args.tolerance * 100.0
+                );
+                for d in &deltas {
+                    println!(
+                        "#   {:<5} {:<16} {:<15} {:>14.3} -> {:>14.3}  {}",
+                        d.section,
+                        d.policy,
+                        d.metric,
+                        d.baseline,
+                        d.current,
+                        if d.regressed { "REGRESSED" } else { "ok" }
+                    );
+                    regressed |= d.regressed;
+                }
+                gate_entries.push((
+                    "tournament-golden".to_string(),
+                    if regressed { "fail" } else { "pass" }.to_string(),
+                ));
+                if regressed {
+                    eprintln!("error: tournament regression vs the committed golden");
+                    gate_failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: comparing against tournament golden {}: {}", check, e);
+                gate_entries.push(("tournament-golden".to_string(), "fail".to_string()));
+                gate_failed = true;
+            }
+        }
+    }
+
+    let mut rec = coflow_bench::ledger::record_from_tournament(
+        &report,
+        started.elapsed().as_secs_f64() * 1000.0,
+    );
+    rec.verdicts = gate_entries;
     append_ledger(ledger, rec);
     if gate_failed {
         std::process::exit(1);

@@ -77,6 +77,7 @@ fn fmt_value(v: f64, unit: &str) -> String {
             }
         }
         "kb" => format!("{:.1} MiB", v / 1024.0),
+        "ratio" => format!("{:.3}", v),
         _ => {
             if v >= 1_000_000.0 {
                 format!("{:.2} M", v / 1_000_000.0)
@@ -232,6 +233,53 @@ pub fn render_dash(records: &[LedgerRecord], title: &str) -> String {
                 continue;
             }
             body.push_str(&spark_panel(stage, &points, "ms", "--series-1", ANNOTATE_FLOOR_MS));
+        }
+        body.push_str("</section>");
+    }
+
+    // --- Tournament TWCT-ratio trends -------------------------------------
+    // One sparkline per registry policy, fed by the `ratio/NAME` objective
+    // entries of `tournament` run records: the measured approximation
+    // ratio against the interval-LP lower bound, newest right. Regression
+    // dots follow the shared icon+tooltip convention (never color alone).
+    let tournament_runs: Vec<&LedgerRecord> =
+        runs.iter().copied().filter(|r| r.command == "tournament").collect();
+    let mut ratio_policies: Vec<String> = Vec::new();
+    for r in &tournament_runs {
+        for (label, _) in &r.objectives {
+            if let Some(name) = label.strip_prefix("ratio/") {
+                if !ratio_policies.iter().any(|p| p == name) {
+                    ratio_policies.push(name.to_string());
+                }
+            }
+        }
+    }
+    if !ratio_policies.is_empty() {
+        body.push_str(
+            "<h2>Tournament TWCT ratios (vs interval-LP lower bound)</h2>\
+             <section class=\"panels\">",
+        );
+        for name in &ratio_policies {
+            let key = format!("ratio/{}", name);
+            let points: Vec<Point> = tournament_runs
+                .iter()
+                .filter_map(|r| {
+                    r.objectives
+                        .iter()
+                        .find(|(l, _)| l == &key)
+                        .map(|(_, v)| Point { seq: r.seq, value: *v })
+                })
+                .collect();
+            if points.is_empty() {
+                continue;
+            }
+            body.push_str(&spark_panel(
+                &format!("{} ratio", name),
+                &points,
+                "ratio",
+                "--series-1",
+                0.0,
+            ));
         }
         body.push_str("</section>");
     }
@@ -463,6 +511,36 @@ mod tests {
         // Flat history: no annotation.
         let flat = vec![run(1, 100.0), run(2, 100.0), run(3, 100.0)];
         assert!(!render_dash(&flat, "t").contains("— regression"));
+    }
+
+    fn tournament_run(seq: u64, sg_ratio: f64) -> LedgerRecord {
+        LedgerRecord {
+            seq,
+            kind: "run".to_string(),
+            command: "tournament".to_string(),
+            stages_ms: vec![("shafiee-ghaderi".to_string(), 4.0)],
+            objectives: vec![
+                ("twct/shafiee-ghaderi".to_string(), 12345.0),
+                ("ratio/shafiee-ghaderi".to_string(), sg_ratio),
+                ("twct/im-purohit".to_string(), 12000.0),
+                ("ratio/im-purohit".to_string(), 1.1),
+            ],
+            ..LedgerRecord::default()
+        }
+    }
+
+    #[test]
+    fn tournament_ratio_sparklines_render_per_policy() {
+        let records = vec![run(1, 100.0), tournament_run(2, 1.21), tournament_run(3, 1.24)];
+        let html = render_dash(&records, "t");
+        assert!(html.contains("Tournament TWCT ratios"));
+        assert!(html.contains("shafiee-ghaderi ratio"));
+        assert!(html.contains("im-purohit ratio"));
+        // Ratio values keep their precision in the direct labels.
+        assert!(html.contains("1.240"));
+        // No tournament runs -> no empty section header.
+        let html = render_dash(&[run(1, 100.0)], "t");
+        assert!(!html.contains("Tournament TWCT ratios"));
     }
 
     #[test]

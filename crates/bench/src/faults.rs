@@ -10,10 +10,7 @@
 
 use coflow::sched::recovery::{run_with_faults_strict, verify_faulty_outcome, FaultyOutcome};
 use coflow::sched::resilient::{fallback_chain, run_resilient};
-use coflow::{
-    compute_order, run_greedy, run_greedy_with_faults, run_online_opts, run_online_with_faults,
-    AlgorithmSpec, Instance, OnlineOptions, OrderRule, ScheduleOutcome,
-};
+use coflow::{run_policy_with_faults, AlgorithmSpec, Instance, OrderRule, PolicyRegistry};
 use coflow_lp::SimplexOptions;
 use coflow_netsim::FaultPlan;
 use coflow_workloads::json::{self, fmt_f64, JsonValue};
@@ -182,17 +179,19 @@ pub fn render_faults(report: &FaultReport) -> String {
 /// Schema tag of the policy-table JSON report; bump on layout changes.
 pub const POLICIES_SCHEMA: &str = "coflow-fault-policies/1";
 
-/// The LP-free policies compared under fault injection, in report order.
-/// These are the combinations the unified engine made possible: the online
-/// ρ/w scheduler (fresh and stale priorities) and the priority-greedy
-/// baseline, each running slot-by-slot against a live [`FaultPlan`].
+/// The default policy selection compared under fault injection, in report
+/// order. These are the combinations the unified engine made possible: the
+/// online ρ/w scheduler (fresh and stale priorities) and the priority-greedy
+/// baseline, each running slot-by-slot against a live [`FaultPlan`]. A
+/// validated report must contain at least these three; registry-driven
+/// selections (see [`run_fault_policies_selected`]) may add more.
 pub const FAULT_POLICIES: [&str; 3] = ["online", "online-stale", "greedy"];
 
 /// One (policy, rate) measurement.
 #[derive(Clone, Debug)]
 pub struct PolicyFaultCell {
-    /// Policy name (one of [`FAULT_POLICIES`]).
-    pub policy: &'static str,
+    /// Registry name of the policy.
+    pub policy: String,
     /// Fault rate fed to [`FaultPlan::generate`].
     pub rate: f64,
     /// Injected events at this rate.
@@ -214,8 +213,8 @@ pub struct PolicyFaultCell {
 /// One policy's row block: fault-free reference plus per-rate cells.
 #[derive(Clone, Debug)]
 pub struct PolicyFaultRows {
-    /// Policy name.
-    pub policy: &'static str,
+    /// Registry name of the policy.
+    pub policy: String,
     /// Fault-free TWCT over all coflows.
     pub fault_free_objective: f64,
     /// Per-rate results.
@@ -227,41 +226,73 @@ pub struct PolicyFaultRows {
 pub struct PolicyFaultReport {
     /// Plan seed.
     pub seed: u64,
-    /// One block per policy in [`FAULT_POLICIES`] order.
+    /// One block per selected policy, in selection order.
     pub policies: Vec<PolicyFaultRows>,
 }
 
-/// Runs the LP-free policies (online fresh/stale, greedy) under the same
-/// seeded fault plans that [`run_faults`] feeds the resilient pipeline.
-/// Every plan is shared across policies at a given rate, so the rows are
-/// directly comparable. Panics (via [`verify_faulty_outcome`]) if any
-/// policy produces an invalid schedule — that is an engine bug, not data.
+/// Runs the default selection ([`FAULT_POLICIES`]) under the same seeded
+/// fault plans that [`run_faults`] feeds the resilient pipeline. See
+/// [`run_fault_policies_selected`] for arbitrary registry selections.
 pub fn run_fault_policies(instance: &Instance, rates: &[f64], seed: u64) -> PolicyFaultReport {
-    let order = compute_order(instance, OrderRule::LoadOverWeight);
-    let baselines: Vec<(&'static str, ScheduleOutcome)> = vec![
-        ("online", run_online_opts(instance, OnlineOptions::default())),
-        ("online-stale", run_online_opts(instance, OnlineOptions::legacy())),
-        ("greedy", run_greedy(instance, order.clone())),
-    ];
-    let horizon = baselines
-        .iter()
-        .map(|(_, b)| b.makespan())
-        .max()
-        .unwrap_or(1)
-        .max(1);
+    let names: Vec<String> = FAULT_POLICIES.iter().map(|s| s.to_string()).collect();
+    match run_fault_policies_selected(instance, rates, seed, &names) {
+        Ok(report) => report,
+        // The default names are always in the registry and fault-capable.
+        Err(e) => panic!("default fault-policy selection: {}", e),
+    }
+}
+
+/// Runs an arbitrary registry selection of fault-capable policies under the
+/// same seeded fault plans. Every plan is shared across policies at a given
+/// rate, so the rows are directly comparable; the fault-free baseline per
+/// policy is measured with a quiet (rate-0) plan through the same engine,
+/// which is bit-identical to the clean run. Unknown names and policies whose
+/// registry entry has `supports_faults == false` (the open-loop BvN batch
+/// planner would strand blocked units forever) are rejected up front. Panics
+/// (via [`verify_faulty_outcome`]) if any policy produces an invalid
+/// schedule — that is an engine bug, not data.
+pub fn run_fault_policies_selected(
+    instance: &Instance,
+    rates: &[f64],
+    seed: u64,
+    names: &[String],
+) -> Result<PolicyFaultReport, String> {
+    let registry = PolicyRegistry::builtin();
+    let mut entries = Vec::with_capacity(names.len());
+    for name in names {
+        let entry = registry.resolve(name)?;
+        if !entry.caps.supports_faults {
+            return Err(format!(
+                "policy '{}' does not support fault injection (open-loop planner)",
+                entry.name
+            ));
+        }
+        entries.push(entry);
+    }
 
     let run_policy = |name: &str, plan: &FaultPlan| -> FaultyOutcome {
-        let result = match name {
-            "online" => run_online_with_faults(instance, OnlineOptions::default(), plan),
-            "online-stale" => run_online_with_faults(instance, OnlineOptions::legacy(), plan),
-            "greedy" => run_greedy_with_faults(instance, order.clone(), plan),
-            other => panic!("unknown fault policy '{}'", other),
-        };
-        match result {
+        // Built fresh per run so every (policy, rate) cell starts cold.
+        let entry = registry.resolve(name).unwrap_or_else(|e| panic!("{}", e));
+        let mut policy = entry.build(instance);
+        match run_policy_with_faults(instance, policy.as_mut(), plan) {
             Ok(out) => out,
             Err(e) => panic!("policy {}: engine bug under faults: {}", name, e),
         }
     };
+
+    // Fault-free reference per policy: a quiet plan through the same
+    // engine. The horizon argument is irrelevant at rate 0 (no events).
+    let quiet = FaultPlan::generate(instance.ports(), instance.len(), 1, 0.0, seed);
+    let baselines: Vec<(String, FaultyOutcome)> = entries
+        .iter()
+        .map(|entry| (entry.name.to_string(), run_policy(entry.name, &quiet)))
+        .collect();
+    let horizon = baselines
+        .iter()
+        .map(|(_, b)| b.executed.makespan())
+        .max()
+        .unwrap_or(1)
+        .max(1);
 
     let mut policies = Vec::with_capacity(baselines.len());
     for (name, baseline) in baselines.iter() {
@@ -295,7 +326,9 @@ pub fn run_fault_policies(instance: &Instance, rates: &[f64], seed: u64) -> Poli
                         .enumerate()
                         .filter(|(_, c)| c.is_some())
                         .map(|(k, _)| {
-                            instance.coflow(k).weight * baseline.completions[k] as f64
+                            // The quiet baseline completes everything.
+                            instance.coflow(k).weight
+                                * baseline.completions[k].unwrap_or(0) as f64
                         })
                         .sum();
                     let inflation = if baseline_objective > 0.0 {
@@ -304,7 +337,7 @@ pub fn run_fault_policies(instance: &Instance, rates: &[f64], seed: u64) -> Poli
                         1.0
                     };
                     PolicyFaultCell {
-                        policy: name,
+                        policy: name.clone(),
                         rate,
                         events: plan.events.len(),
                         cancelled,
@@ -317,14 +350,14 @@ pub fn run_fault_policies(instance: &Instance, rates: &[f64], seed: u64) -> Poli
                 });
             }
             policies.push(PolicyFaultRows {
-                policy: name,
+                policy: name.clone(),
                 fault_free_objective: baseline.objective,
                 cells,
             });
         }
     }
 
-    PolicyFaultReport { seed, policies }
+    Ok(PolicyFaultReport { seed, policies })
 }
 
 /// Renders the policy × rate table as plain text.
@@ -365,7 +398,7 @@ pub fn render_policies_json(report: &PolicyFaultReport) -> String {
     let mut out = String::from("[\n");
     for (pi, rows) in report.policies.iter().enumerate() {
         out.push_str("    {\n");
-        let _ = writeln!(out, "      \"name\": {},", json::quote(rows.policy));
+        let _ = writeln!(out, "      \"name\": {},", json::quote(&rows.policy));
         let _ = writeln!(
             out,
             "      \"fault_free_objective\": {},",
@@ -543,5 +576,30 @@ mod tests {
         // A deflating cancellation-free cell must be rejected.
         let broken = text.replacen("\"inflation\": 1.0}", "\"inflation\": 0.5}", 1);
         assert!(validate_policies_json(&broken).is_err());
+    }
+
+    #[test]
+    fn registry_selection_extends_the_policy_table() {
+        let inst = generate_trace(&TraceConfig::small(9));
+        let names: Vec<String> = ["greedy", "shafiee-ghaderi", "im-purohit"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let report =
+            run_fault_policies_selected(&inst, &[0.0, 0.5], 11, &names).expect("valid selection");
+        assert_eq!(report.policies.len(), 3);
+        for (rows, want) in report.policies.iter().zip(&names) {
+            assert_eq!(&rows.policy, want, "selection order is preserved");
+            let quiet = &rows.cells[0];
+            assert_eq!(quiet.events, 0);
+            assert!((quiet.inflation - 1.0).abs() < 1e-9);
+        }
+
+        // Unknown names and fault-incapable policies are rejected up front.
+        let unknown = vec!["no-such-policy".to_string()];
+        assert!(run_fault_policies_selected(&inst, &[0.0], 11, &unknown).is_err());
+        let open_loop = vec!["bvn-batch".to_string()];
+        let err = run_fault_policies_selected(&inst, &[0.0], 11, &open_loop).unwrap_err();
+        assert!(err.contains("does not support fault injection"), "{}", err);
     }
 }

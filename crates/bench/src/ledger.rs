@@ -130,6 +130,33 @@ pub fn record_from_pins(report: &PinReport, elapsed_ms: f64) -> LedgerRecord {
     rec
 }
 
+/// Builds the `tournament` run record: per-policy clean TWCT keyed
+/// `twct/NAME` and measured approximation ratio keyed `ratio/NAME` (the
+/// dashboard sparklines read the latter), per-policy wall-clock as the
+/// stage entries.
+pub fn record_from_tournament(
+    report: &crate::tournament::TournamentReport,
+    elapsed_ms: f64,
+) -> LedgerRecord {
+    let fingerprint = format!(
+        "ports={} coflows={} lp_bound={} fault_rate={}",
+        report.ports, report.coflows, report.lp_bound, report.fault_rate
+    );
+    let mut rec = base_record(
+        "tournament",
+        &format!("{}-policy tournament", report.rows.len()),
+        report.seed,
+        &fingerprint,
+    );
+    rec.elapsed_ms = elapsed_ms;
+    for row in &report.rows {
+        rec.objectives.push((format!("twct/{}", row.policy), row.objective));
+        rec.objectives.push((format!("ratio/{}", row.policy), row.ratio));
+        rec.stages_ms.push((row.policy.clone(), row.wall_ms));
+    }
+    rec
+}
+
 /// Builds a gate-verdict record. `verdicts` carries per-check outcomes
 /// (`pass`/`fail`); the overall status is derived — any `fail` fails.
 pub fn verdict_record(gate: &str, verdicts: Vec<(String, String)>, note: &str) -> LedgerRecord {

@@ -39,6 +39,7 @@ pub mod report;
 pub mod scale;
 pub mod sink;
 pub mod table1;
+pub mod tournament;
 
 use coflow_workloads::TraceConfig;
 

@@ -19,8 +19,9 @@ use crate::grid::{case_label, run_grid};
 use crate::table1::ORDERS;
 use coflow::sched::recovery::{run_with_faults_strict, verify_faulty_outcome};
 use coflow::{
-    compute_order, run_greedy, run_greedy_with_faults, run_online_opts, run_online_with_faults,
-    AlgorithmSpec, Instance, OnlineOptions, OrderRule,
+    compute_order, run_greedy, run_greedy_with_faults, run_im_purohit_with_faults,
+    run_online_opts, run_online_with_faults, run_policy, run_shafiee_ghaderi_with_faults,
+    AlgorithmSpec, ImPurohitPolicy, Instance, OnlineOptions, OrderRule,
 };
 use coflow_lp::SimplexOptions;
 use coflow_netsim::FaultPlan;
@@ -33,6 +34,14 @@ pub const SCHEMA: &str = "coflow-pins/1";
 
 /// Fault rate of the pinned fault-injected cells.
 pub const FAULT_RATE: f64 = 0.3;
+
+/// Fault rate of the successor-policy fault cells (`faults20/*`) — the
+/// tournament's shared rate. The plan stream is decoupled from the 0.3
+/// plan by [`FAULT20_SEED_OFFSET`].
+pub const FAULT_RATE_20: f64 = 0.2;
+
+/// Seed offset of the `faults20/*` plan stream relative to the pin seed.
+pub const FAULT20_SEED_OFFSET: u64 = 20;
 
 /// Absolute wall-clock slack of the engine-overhead gate: differences
 /// below this never fail, whatever the ratio (same reasoning as the
@@ -104,6 +113,29 @@ pub fn collect_pins_on(instance: &Instance, seed: u64) -> PinReport {
         makespan: greedy.makespan(),
     });
 
+    // Successor-paper policies (registry names): Shafiee–Ghaderi on the
+    // H_pd primal-dual permutation, Im–Purohit on the LP order. The LP
+    // order is solved once and shared with the fault cell below.
+    let sg = coflow::run_shafiee_ghaderi(instance);
+    let ip_order = compute_order(instance, OrderRule::LpBased);
+    let ip = {
+        let mut policy = ImPurohitPolicy::with_order(instance, ip_order.clone());
+        match run_policy(instance, &mut policy) {
+            Ok(out) => out,
+            Err(e) => panic!("pins: im-purohit hit an engine bug: {}", e),
+        }
+    };
+    pins.push(Pin {
+        label: "shafiee-ghaderi".to_string(),
+        objective: sg.objective,
+        makespan: sg.makespan(),
+    });
+    pins.push(Pin {
+        label: "im-purohit".to_string(),
+        objective: ip.objective,
+        makespan: ip.makespan(),
+    });
+
     let horizon = online_fixed
         .makespan()
         .max(online_stale.makespan())
@@ -138,6 +170,31 @@ pub fn collect_pins_on(instance: &Instance, seed: u64) -> PinReport {
             makespan: out.executed.makespan(),
         });
     }
+
+    // The tournament's shared fault rate (0.20) for the successor
+    // policies, on its own deterministic plan stream.
+    let plan20 = pin_fault_plan_20(instance, seed, &[&online_fixed, &online_stale, &greedy, &sg, &ip]);
+    let sg_faulty = match run_shafiee_ghaderi_with_faults(instance, &plan20) {
+        Ok(out) => out,
+        Err(e) => panic!("pins: shafiee-ghaderi under faults hit an engine bug: {}", e),
+    };
+    let ip_faulty = match run_im_purohit_with_faults(instance, &plan20) {
+        Ok(out) => out,
+        Err(e) => panic!("pins: im-purohit under faults hit an engine bug: {}", e),
+    };
+    for (label, out) in [
+        ("faults20/shafiee-ghaderi", &sg_faulty),
+        ("faults20/im-purohit", &ip_faulty),
+    ] {
+        if let Err(e) = verify_faulty_outcome(instance, &plan20, out) {
+            panic!("pins: {} produced an invalid schedule: {}", label, e);
+        }
+        pins.push(Pin {
+            label: label.to_string(),
+            objective: out.objective,
+            makespan: out.executed.makespan(),
+        });
+    }
     let engine_ms = start.elapsed().as_secs_f64() * 1e3;
 
     PinReport { seed, engine_ms, pins }
@@ -148,6 +205,25 @@ pub fn collect_pins_on(instance: &Instance, seed: u64) -> PinReport {
 /// written from.
 pub fn collect_pins(seed: u64) -> PinReport {
     collect_pins_on(&arrivals_instance(24, 36, seed), seed)
+}
+
+/// Derives the `faults20/*` plan: rate [`FAULT_RATE_20`], horizon the max
+/// clean makespan over the engine policies pinned before it, seed offset
+/// [`FAULT20_SEED_OFFSET`]. Public so the checkpoint differential tests
+/// reconstruct the exact plan a pin was measured under.
+pub fn pin_fault_plan_20(
+    instance: &Instance,
+    seed: u64,
+    clean: &[&coflow::ScheduleOutcome],
+) -> FaultPlan {
+    let horizon = clean.iter().map(|o| o.makespan()).max().unwrap_or(1).max(1);
+    FaultPlan::generate(
+        instance.ports(),
+        instance.len(),
+        horizon,
+        FAULT_RATE_20,
+        seed.wrapping_add(FAULT20_SEED_OFFSET),
+    )
 }
 
 /// Serializes a pin run as `coflow-pins/1` JSON. Objectives are written
@@ -325,16 +401,24 @@ mod tests {
     fn pins_cover_grid_policies_and_fault_combos() {
         let report = tiny_report();
         let labels: Vec<&str> = report.pins.iter().map(|p| p.label.as_str()).collect();
-        assert_eq!(report.pins.len(), 18, "12 grid + 3 policies + 3 fault cells");
+        assert_eq!(
+            report.pins.len(),
+            22,
+            "12 grid + 5 policies + 3 fault cells + 2 faults20 cells"
+        );
         for required in [
             "grid/H_LP/d",
             "grid/H_A/a",
             "online/fixed",
             "online/stale",
             "greedy",
+            "shafiee-ghaderi",
+            "im-purohit",
             "faults/resilient",
             "faults/online",
             "faults/greedy",
+            "faults20/shafiee-ghaderi",
+            "faults20/im-purohit",
         ] {
             assert!(labels.contains(&required), "missing pin {}", required);
         }

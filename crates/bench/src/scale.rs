@@ -203,7 +203,7 @@ pub struct ScaleReport {
 /// precomputed once per coflow: `rho()` walks the flow list, and calling
 /// it inside the comparator would repeat that walk O(log W) times per
 /// coflow.
-fn smith_order(window: &[SparseCoflow]) -> Vec<usize> {
+pub(crate) fn smith_order(window: &[SparseCoflow]) -> Vec<usize> {
     let keys: Vec<f64> = window.iter().map(|c| c.rho() as f64 / c.weight).collect();
     let mut order: Vec<usize> = (0..window.len()).collect();
     order.sort_by(|&a, &b| keys[a].total_cmp(&keys[b]).then(a.cmp(&b)));
@@ -212,7 +212,7 @@ fn smith_order(window: &[SparseCoflow]) -> Vec<usize> {
 
 /// Lifts a streamed coflow into the sparse per-port load view the
 /// windowed LP consumes.
-fn loads_of(c: &SparseCoflow) -> SparseCoflowLoads {
+pub(crate) fn loads_of(c: &SparseCoflow) -> SparseCoflowLoads {
     let (ingress, egress) = c.port_loads();
     SparseCoflowLoads {
         release: c.release,

@@ -2,8 +2,9 @@
 //! run at **every** decision epoch — checkpoint, serialize to the
 //! `coflow-snapshot/1` document, re-parse, restore, continue — must land on
 //! exactly the schedule an uninterrupted run produces, for every one of the
-//! 18 pinned cells (12 grid cells, online fixed/stale, greedy, and the
-//! three fault combinations).
+//! 22 pinned cells (12 grid cells, online fixed/stale, greedy, the
+//! successor policies shafiee-ghaderi/im-purohit, the three rate-0.3 fault
+//! combinations, and the two rate-0.2 `faults20/*` successor cells).
 //!
 //! Two granularities:
 //!
@@ -22,12 +23,13 @@
 
 use coflow::sched::recovery::{verify_faulty_outcome, FaultyOutcome};
 use coflow::{
-    compute_order, group_by_doubling, run_greedy, run_online_opts, run_policy_with_faults,
-    AlgorithmSpec, BvnBatchPolicy, Engine, EngineSnapshot, ExecOptions, GreedyPolicy, Instance,
-    OnlineOptions, OnlineRhoPolicy, OrderRule, Policy, ResilientPolicy,
+    compute_order, group_by_doubling, run_greedy, run_online_opts, run_policy,
+    run_policy_with_faults, run_shafiee_ghaderi, AlgorithmSpec, BvnBatchPolicy, Engine,
+    EngineSnapshot, ExecOptions, GreedyPolicy, ImPurohitPolicy, Instance, OnlineOptions,
+    OnlineRhoPolicy, OrderRule, Policy, ResilientPolicy, ShafieeGhaderiPolicy,
 };
 use coflow_bench::arrivals::arrivals_instance;
-use coflow_bench::pins::{collect_pins_on, parse_pins, Pin, FAULT_RATE};
+use coflow_bench::pins::{collect_pins_on, parse_pins, pin_fault_plan_20, Pin, FAULT_RATE};
 use coflow_lp::SimplexOptions;
 use coflow_netsim::FaultPlan;
 
@@ -80,6 +82,13 @@ fn policy_for(instance: &Instance, label: &str) -> Box<dyn Policy> {
             let order = compute_order(instance, OrderRule::LoadOverWeight);
             Box::new(GreedyPolicy::new(instance, order))
         }
+        "shafiee-ghaderi" | "faults20/shafiee-ghaderi" => {
+            Box::new(ShafieeGhaderiPolicy::new(instance))
+        }
+        "im-purohit" | "faults20/im-purohit" => Box::new(ImPurohitPolicy::with_order(
+            instance,
+            compute_order(instance, OrderRule::LpBased),
+        )),
         other => panic!("unknown pin label {}", other),
     }
 }
@@ -100,6 +109,27 @@ fn pin_fault_plan(instance: &Instance, seed: u64) -> FaultPlan {
         .max(greedy.makespan())
         .max(1);
     FaultPlan::generate(instance.ports(), instance.len(), horizon, FAULT_RATE, seed)
+}
+
+/// The `faults20/*` plan of the pin run: rate 0.2 over the max clean
+/// makespan of the five engine policies, on the offset seed stream (same
+/// derivation as `collect_pins_on`).
+fn faults20_plan(instance: &Instance, seed: u64) -> FaultPlan {
+    let online_fixed = run_online_opts(instance, OnlineOptions::default());
+    let online_stale = run_online_opts(instance, OnlineOptions::legacy());
+    let greedy = run_greedy(
+        instance,
+        compute_order(instance, OrderRule::LoadOverWeight),
+    );
+    let sg = run_shafiee_ghaderi(instance);
+    let ip = {
+        let mut policy = ImPurohitPolicy::with_order(
+            instance,
+            compute_order(instance, OrderRule::LpBased),
+        );
+        run_policy(instance, &mut policy).expect("im-purohit clean run")
+    };
+    pin_fault_plan_20(instance, seed, &[&online_fixed, &online_stale, &greedy, &sg, &ip])
 }
 
 /// Drives one cell, checkpointing after **every** decision epoch and
@@ -190,9 +220,12 @@ fn check_cell(instance: &Instance, plan: &FaultPlan, pin: &Pin, json_stride: u64
 fn check_all_pins(instance: &Instance, seed: u64, pins: &[Pin], json_stride: u64) {
     let empty = FaultPlan::new(vec![]);
     let faulted = pin_fault_plan(instance, seed);
+    let faulted20 = faults20_plan(instance, seed);
     for pin in pins {
         let plan = if pin.label.starts_with("faults/") {
             &faulted
+        } else if pin.label.starts_with("faults20/") {
+            &faulted20
         } else {
             &empty
         };
@@ -207,7 +240,7 @@ fn every_epoch_checkpoint_matches_fresh_pins_tiny() {
     let seed = 3;
     let instance = arrivals_instance(8, 10, seed);
     let report = collect_pins_on(&instance, seed);
-    assert_eq!(report.pins.len(), 18);
+    assert_eq!(report.pins.len(), 22);
     check_all_pins(&instance, seed, &report.pins, 1);
 }
 
@@ -223,7 +256,7 @@ fn every_epoch_checkpoint_matches_committed_pins() {
     ))
     .expect("committed BENCH_pins.json (regenerate: experiments -- pin --out BENCH_pins.json)");
     let report = parse_pins(&text).expect("parse committed pins");
-    assert_eq!(report.pins.len(), 18);
+    assert_eq!(report.pins.len(), 22);
     let instance = arrivals_instance(24, 36, report.seed);
     // The serialized round trip is exercised on a stride: the snapshot
     // document grows with the executed trace, so rendering it at all of

@@ -76,6 +76,13 @@ pub use crate::sched::snapshot::{
 };
 pub use crate::sched::watchdog::{WatchdogConfig, WatchdogPolicy, LADDER_TIER_BASE};
 pub use crate::sched::greedy::{run_greedy, run_greedy_with_faults};
+pub use crate::sched::ordered::{
+    run_im_purohit, run_im_purohit_with_faults, run_shafiee_ghaderi,
+    run_shafiee_ghaderi_with_faults, ImPurohitPolicy, ShafieeGhaderiPolicy,
+};
+pub use crate::sched::registry::{
+    PolicyCaps, PolicyEntry, PolicyRegistry, DEPRECATED_FLAG_ALIASES,
+};
 pub use crate::sched::online::{run_online, run_online_opts, run_online_with_faults};
 pub use crate::sched::recovery::{
     run_with_faults, run_with_faults_strict, verify_faulty_outcome, FaultyOutcome,

@@ -14,7 +14,9 @@ pub mod engine;
 pub mod greedy;
 pub mod online;
 pub mod optimal;
+pub mod ordered;
 pub mod recovery;
+pub mod registry;
 pub mod resilient;
 pub mod snapshot;
 pub mod watchdog;

@@ -1,0 +1,310 @@
+//! Successor-paper schedulers as first-class engine policies.
+//!
+//! Two post-QSZ15 algorithms sharpened the paper's deterministic 67/3
+//! guarantee, and both factor cleanly into *permutation + work-conserving
+//! service*:
+//!
+//! * [`ShafieeGhaderiPolicy`] — the LP-free combinatorial algorithm of
+//!   Shafiee & Ghaderi (arXiv:1704.08357, 5-approximation): a primal-dual
+//!   sweep over the 2m port loads builds the coflow permutation from the
+//!   back (most-loaded port first, cheapest coflow last), with no LP
+//!   solve anywhere. The permutation is exactly
+//!   [`OrderRule::PortPrimalDual`] (`H_pd`).
+//! * [`ImPurohitPolicy`] — the tight 4-approximation of Im & Purohit
+//!   (arXiv:1707.04331): coflows are ordered by their fractional
+//!   completion times in the interval-indexed LP relaxation (the same
+//!   relaxation the paper's Algorithm 2 rounds), then served in that
+//!   fixed priority order. The permutation is [`OrderRule::LpBased`]
+//!   (`H_LP`).
+//!
+//! Service is the shared [`OrderedDispatch`]: every slot, scan released
+//! unfinished coflows in the committed permutation and greedily match free
+//! (ingress, egress) pairs — the engine's priority-greedy discipline,
+//! which is work-conserving and preemptive at slot granularity, as both
+//! papers assume. The permutations are the papers' contributions; the
+//! approximation bounds (5 and 4, vs the interval-LP lower bound) are
+//! asserted empirically by the bench crate's tournament tests.
+//!
+//! Both policies reread remaining demand live from [`EpochState`], so
+//! they react to faults (stranded units are rescanned, cancellations
+//! leave the scan) and run unchanged under
+//! [`run_policy_with_faults`](super::engine::run_policy_with_faults).
+//! Planning state is just the committed permutation, captured in
+//! [`PolicyState::ShafieeGhaderi`] / [`PolicyState::ImPurohit`], so the
+//! PR-6 checkpoint/watchdog machinery applies verbatim.
+
+use crate::error::SchedError;
+use crate::instance::Instance;
+use crate::ordering::{compute_order, OrderRule};
+use crate::sched::engine::{
+    greedy_match, run_policy, run_policy_with_faults, Decision, EpochState, Policy,
+};
+use crate::sched::recovery::FaultyOutcome;
+use crate::sched::snapshot::PolicyState;
+use crate::sched::ScheduleOutcome;
+use coflow_netsim::{FaultPlan, SimError};
+
+/// The shared slot-reactive dispatcher: a committed coflow permutation
+/// served work-conservingly, one slot at a time. Identical service
+/// discipline to the engine's greedy baseline; the owning policy supplies
+/// the permutation and the snapshot identity.
+struct OrderedDispatch {
+    order: Vec<usize>,
+    releases: Vec<u64>,
+    src_used: Vec<bool>,
+    dst_used: Vec<bool>,
+}
+
+impl OrderedDispatch {
+    fn new(instance: &Instance, order: Vec<usize>) -> Self {
+        let m = instance.ports();
+        OrderedDispatch {
+            releases: instance.releases(),
+            order,
+            src_used: vec![false; m],
+            dst_used: vec![false; m],
+        }
+    }
+
+    fn decide(&mut self, state: &EpochState<'_>) -> Decision {
+        let slot = state.now + 1;
+        let releases = &self.releases;
+        let candidates = self
+            .order
+            .iter()
+            .copied()
+            .filter(|&k| state.remaining_total(k) > 0 && releases[k] < slot);
+        let moves = greedy_match(
+            state.instance.ports(),
+            candidates,
+            |k| state.remaining_matrix(k),
+            &mut self.src_used,
+            &mut self.dst_used,
+        );
+        if moves.is_empty() {
+            // Nothing servable now: all remaining demand is strictly
+            // future (a released coflow would have matched on the free
+            // fabric), so jump to the next release instead of spinning.
+            let next_release = self
+                .releases
+                .iter()
+                .enumerate()
+                .filter(|&(k, &r)| state.remaining_total(k) > 0 && r >= slot)
+                .map(|(_, &r)| r)
+                .min()
+                .unwrap_or_else(|| unreachable!("unfinished demand must have a future release"));
+            return Decision::Advance(next_release);
+        }
+        Decision::Run {
+            pairs: moves.into_iter().map(|(i, j, k)| (i, j, vec![k])).collect(),
+            duration: 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shafiee–Ghaderi: LP-free primal-dual permutation (5-approx).
+// ---------------------------------------------------------------------------
+
+/// The Shafiee–Ghaderi combinatorial scheduler: `H_pd` primal-dual
+/// permutation over port loads, served work-conservingly. No LP solve —
+/// ordering is `O(n·m + n²)` over the port-load table.
+pub struct ShafieeGhaderiPolicy {
+    core: OrderedDispatch,
+}
+
+impl ShafieeGhaderiPolicy {
+    /// Builds the policy, computing the primal-dual permutation.
+    pub fn new(instance: &Instance) -> Self {
+        Self::with_order(instance, compute_order(instance, OrderRule::PortPrimalDual))
+    }
+
+    /// Builds the policy around an externally supplied (e.g. checkpointed)
+    /// permutation, skipping the primal-dual sweep.
+    pub fn with_order(instance: &Instance, order: Vec<usize>) -> Self {
+        ShafieeGhaderiPolicy {
+            core: OrderedDispatch::new(instance, order),
+        }
+    }
+}
+
+impl Policy for ShafieeGhaderiPolicy {
+    fn name(&self) -> &'static str {
+        "shafiee-ghaderi"
+    }
+
+    fn decide(&mut self, state: &EpochState<'_>) -> Result<Decision, SchedError> {
+        Ok(self.core.decide(state))
+    }
+
+    fn final_order(&self, _completions: &[u64]) -> Vec<usize> {
+        self.core.order.clone()
+    }
+
+    fn capture_state(&self) -> Option<PolicyState> {
+        Some(PolicyState::ShafieeGhaderi {
+            order: self.core.order.clone(),
+        })
+    }
+}
+
+/// Runs the Shafiee–Ghaderi scheduler on a clean fabric.
+pub fn run_shafiee_ghaderi(instance: &Instance) -> ScheduleOutcome {
+    let mut policy = ShafieeGhaderiPolicy::new(instance);
+    match run_policy(instance, &mut policy) {
+        Ok(out) => out,
+        Err(e) => unreachable!("shafiee-ghaderi policy is infallible: {}", e),
+    }
+}
+
+/// Runs the Shafiee–Ghaderi scheduler under fault injection: the slot
+/// rescan replans from live remaining demand, so stranded units are
+/// re-served when a path reopens and cancellations leave the scan.
+pub fn run_shafiee_ghaderi_with_faults(
+    instance: &Instance,
+    plan: &FaultPlan,
+) -> Result<FaultyOutcome, SimError> {
+    let mut policy = ShafieeGhaderiPolicy::new(instance);
+    run_policy_with_faults(instance, &mut policy, plan).map_err(|e| e.into_sim())
+}
+
+// ---------------------------------------------------------------------------
+// Im–Purohit: LP-completion-time permutation (4-approx).
+// ---------------------------------------------------------------------------
+
+/// The Im–Purohit scheduler: coflows ordered by fractional completion
+/// times of the interval-indexed LP relaxation, served work-conservingly
+/// in that fixed priority order.
+pub struct ImPurohitPolicy {
+    core: OrderedDispatch,
+}
+
+impl ImPurohitPolicy {
+    /// Builds the policy, solving the interval-indexed LP for the order.
+    pub fn new(instance: &Instance) -> Self {
+        Self::with_order(instance, compute_order(instance, OrderRule::LpBased))
+    }
+
+    /// Builds the policy around an externally supplied (e.g. checkpointed
+    /// or pre-solved) permutation, skipping the LP solve.
+    pub fn with_order(instance: &Instance, order: Vec<usize>) -> Self {
+        ImPurohitPolicy {
+            core: OrderedDispatch::new(instance, order),
+        }
+    }
+}
+
+impl Policy for ImPurohitPolicy {
+    fn name(&self) -> &'static str {
+        "im-purohit"
+    }
+
+    fn decide(&mut self, state: &EpochState<'_>) -> Result<Decision, SchedError> {
+        Ok(self.core.decide(state))
+    }
+
+    fn final_order(&self, _completions: &[u64]) -> Vec<usize> {
+        self.core.order.clone()
+    }
+
+    fn capture_state(&self) -> Option<PolicyState> {
+        Some(PolicyState::ImPurohit {
+            order: self.core.order.clone(),
+        })
+    }
+}
+
+/// Runs the Im–Purohit scheduler on a clean fabric (solves the LP).
+pub fn run_im_purohit(instance: &Instance) -> ScheduleOutcome {
+    let mut policy = ImPurohitPolicy::new(instance);
+    match run_policy(instance, &mut policy) {
+        Ok(out) => out,
+        Err(e) => unreachable!("im-purohit policy is infallible: {}", e),
+    }
+}
+
+/// Runs the Im–Purohit scheduler under fault injection. The LP is solved
+/// once, on the clean instance; the permutation is then served against
+/// live (post-fault) remaining demand.
+pub fn run_im_purohit_with_faults(
+    instance: &Instance,
+    plan: &FaultPlan,
+) -> Result<FaultyOutcome, SimError> {
+    let mut policy = ImPurohitPolicy::new(instance);
+    run_policy_with_faults(instance, &mut policy, plan).map_err(|e| e.into_sim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coflow::Coflow;
+    use coflow_matching::IntMatrix;
+    use coflow_netsim::validate_trace;
+
+    fn validate(inst: &Instance, out: &ScheduleOutcome) {
+        let times =
+            validate_trace(&inst.demand_matrices(), &inst.releases(), &out.trace).unwrap();
+        assert_eq!(times, out.completions);
+        assert!((inst.objective(&times) - out.objective).abs() < 1e-9);
+    }
+
+    fn dense_instance() -> Instance {
+        let c0 = Coflow::new(0, IntMatrix::from_nested(&[[3, 1], [0, 2]])).with_weight(2.0);
+        let c1 = Coflow::new(1, IntMatrix::from_nested(&[[1, 4], [2, 0]]));
+        let c2 = Coflow::new(2, IntMatrix::from_nested(&[[0, 0], [5, 1]])).with_release(3);
+        Instance::new(2, vec![c0, c1, c2])
+    }
+
+    #[test]
+    fn shafiee_ghaderi_validates_and_is_work_conserving() {
+        let inst = dense_instance();
+        let out = run_shafiee_ghaderi(&inst);
+        validate(&inst, &out);
+        // The committed order is the primal-dual permutation.
+        assert_eq!(out.order, compute_order(&inst, OrderRule::PortPrimalDual));
+    }
+
+    #[test]
+    fn im_purohit_validates_and_uses_the_lp_order() {
+        let inst = dense_instance();
+        let out = run_im_purohit(&inst);
+        validate(&inst, &out);
+        assert_eq!(out.order, compute_order(&inst, OrderRule::LpBased));
+    }
+
+    #[test]
+    fn lone_coflow_completes_at_its_load_under_both() {
+        // Lemma-4 analog: a lone coflow finishes in exactly rho slots.
+        let inst = Instance::new(
+            2,
+            vec![Coflow::new(0, IntMatrix::from_nested(&[[1, 2], [2, 1]]))],
+        );
+        assert_eq!(run_shafiee_ghaderi(&inst).completions, vec![3]);
+        assert_eq!(run_im_purohit(&inst).completions, vec![3]);
+    }
+
+    #[test]
+    fn both_policies_survive_fault_injection() {
+        use crate::sched::recovery::verify_faulty_outcome;
+        let inst = dense_instance();
+        let horizon = run_shafiee_ghaderi(&inst).makespan().max(8);
+        let plan = FaultPlan::generate(inst.ports(), inst.len(), horizon, 0.4, 13);
+        let sg = run_shafiee_ghaderi_with_faults(&inst, &plan).unwrap();
+        verify_faulty_outcome(&inst, &plan, &sg).unwrap();
+        let ip = run_im_purohit_with_faults(&inst, &plan).unwrap();
+        verify_faulty_outcome(&inst, &plan, &ip).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_state_round_trips_through_rebuild() {
+        let inst = dense_instance();
+        let policy = ShafieeGhaderiPolicy::new(&inst);
+        let state = policy.capture_state().unwrap();
+        let rebuilt = state.rebuild(&inst).unwrap();
+        assert_eq!(rebuilt.name(), "shafiee-ghaderi");
+        let policy = ImPurohitPolicy::new(&inst);
+        let state = policy.capture_state().unwrap();
+        let rebuilt = state.rebuild(&inst).unwrap();
+        assert_eq!(rebuilt.name(), "im-purohit");
+    }
+}

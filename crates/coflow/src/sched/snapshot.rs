@@ -103,6 +103,16 @@ pub enum PolicyState {
         /// Committed coflow order.
         order: Vec<usize>,
     },
+    /// [`ShafieeGhaderiPolicy`](super::ordered::ShafieeGhaderiPolicy).
+    ShafieeGhaderi {
+        /// Committed primal-dual (`H_pd`) permutation.
+        order: Vec<usize>,
+    },
+    /// [`ImPurohitPolicy`](super::ordered::ImPurohitPolicy).
+    ImPurohit {
+        /// Committed LP-completion-time (`H_LP`) permutation.
+        order: Vec<usize>,
+    },
     /// [`ResilientPolicy`].
     Resilient {
         /// Grid cell being planned.
@@ -183,6 +193,20 @@ impl PolicyState {
             PolicyState::Greedy { order } => {
                 check_order(order)?;
                 Ok(Box::new(GreedyPolicy::new(instance, order.clone())))
+            }
+            PolicyState::ShafieeGhaderi { order } => {
+                check_order(order)?;
+                Ok(Box::new(super::ordered::ShafieeGhaderiPolicy::with_order(
+                    instance,
+                    order.clone(),
+                )))
+            }
+            PolicyState::ImPurohit { order } => {
+                check_order(order)?;
+                Ok(Box::new(super::ordered::ImPurohitPolicy::with_order(
+                    instance,
+                    order.clone(),
+                )))
             }
             PolicyState::Resilient {
                 spec,
@@ -382,6 +406,16 @@ fn render_policy(out: &mut String, p: &PolicyState) {
             push_usize_array(out, order);
             out.push('}');
         }
+        PolicyState::ShafieeGhaderi { order } => {
+            out.push_str("{\"kind\":\"shafiee-ghaderi\",\"order\":");
+            push_usize_array(out, order);
+            out.push('}');
+        }
+        PolicyState::ImPurohit { order } => {
+            out.push_str("{\"kind\":\"im-purohit\",\"order\":");
+            push_usize_array(out, order);
+            out.push('}');
+        }
         PolicyState::Resilient {
             spec,
             lp_opts,
@@ -542,6 +576,12 @@ fn parse_policy(v: &JsonValue) -> Result<PolicyState, SnapshotError> {
             active: get_usize_array(v, "active")?,
         }),
         "greedy" => Ok(PolicyState::Greedy {
+            order: get_usize_array(v, "order")?,
+        }),
+        "shafiee-ghaderi" => Ok(PolicyState::ShafieeGhaderi {
+            order: get_usize_array(v, "order")?,
+        }),
+        "im-purohit" => Ok(PolicyState::ImPurohit {
             order: get_usize_array(v, "order")?,
         }),
         "resilient" => {

@@ -234,6 +234,13 @@ impl WatchdogPolicy {
             PolicyState::Watchdog { .. } => {
                 return Err(SnapshotError::new("watchdog state cannot nest another watchdog"))
             }
+            PolicyState::ShafieeGhaderi { .. } | PolicyState::ImPurohit { .. } => {
+                // Not ladder rungs: the successor-paper policies checkpoint
+                // standalone (PolicyState::rebuild), never under a watchdog.
+                return Err(SnapshotError::new(
+                    "watchdog rungs are bvn-batch/resilient/online-rho/greedy",
+                ));
+            }
         };
         Ok(WatchdogPolicy {
             config,

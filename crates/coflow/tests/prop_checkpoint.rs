@@ -8,9 +8,9 @@
 use coflow::sched::AlgorithmSpec;
 use coflow::{
     compute_order, group_by_doubling, run_policy_with_faults, verify_faulty_outcome,
-    BvnBatchPolicy, Engine, EngineSnapshot, ExecOptions, FaultyOutcome, GreedyPolicy, Instance,
-    OnlineOptions, OnlineRhoPolicy, OrderRule, Policy, ResilientPolicy, WatchdogConfig,
-    WatchdogPolicy,
+    BvnBatchPolicy, Engine, EngineSnapshot, ExecOptions, FaultyOutcome, GreedyPolicy,
+    ImPurohitPolicy, Instance, OnlineOptions, OnlineRhoPolicy, OrderRule, Policy,
+    ResilientPolicy, ShafieeGhaderiPolicy, WatchdogConfig, WatchdogPolicy,
 };
 use coflow::Coflow;
 use coflow_lp::SimplexOptions;
@@ -44,10 +44,13 @@ fn instance_strategy() -> impl Strategy<Value = Instance> {
     })
 }
 
-/// Builds one of the four engine policies by index, avoiding the LP so
-/// every proptest case stays cheap.
+/// Builds one of the six engine policies by index, avoiding the full LP
+/// where possible so every proptest case stays cheap. (The Im–Purohit
+/// policy is constructed via `with_order` on the H_ρ permutation: the
+/// checkpoint contract under test is order-agnostic, and the instances
+/// here are tiny enough that which permutation it commits is irrelevant.)
 fn make_policy(instance: &Instance, which: usize) -> Box<dyn Policy> {
-    match which % 4 {
+    match which % 6 {
         0 => Box::new(ResilientPolicy::new(
             AlgorithmSpec {
                 order: OrderRule::LoadOverWeight,
@@ -60,6 +63,11 @@ fn make_policy(instance: &Instance, which: usize) -> Box<dyn Policy> {
         2 => {
             let order = compute_order(instance, OrderRule::LoadOverWeight);
             Box::new(GreedyPolicy::new(instance, order))
+        }
+        3 => Box::new(ShafieeGhaderiPolicy::new(instance)),
+        4 => {
+            let order = compute_order(instance, OrderRule::LoadOverWeight);
+            Box::new(ImPurohitPolicy::with_order(instance, order))
         }
         _ => {
             let order = compute_order(instance, OrderRule::LoadOverWeight);
@@ -138,7 +146,7 @@ proptest! {
         horizon in 4u64..48,
         seed in 0u64..1u64 << 32,
         stop_after in 0u64..64,
-        which in 0usize..4,
+        which in 0usize..6,
     ) {
         let plan = FaultPlan::generate(inst.ports(), inst.len(), horizon, rate, seed);
 

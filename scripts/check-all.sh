@@ -1,9 +1,9 @@
 #!/usr/bin/env sh
-# Consolidated gate runner: clippy, perf, mem, scale, explain, chaos — in
-# that order, never aborting early, so one invocation reports every gate's
-# status. Appends ONE coflow-ledger/1 verdict record carrying all six
-# statuses (gate `check-all`), prints a pass/fail summary table, and
-# exits nonzero if any gate failed.
+# Consolidated gate runner: clippy, perf, mem, scale, tournament,
+# explain, chaos — in that order, never aborting early, so one invocation
+# reports every gate's status. Appends ONE coflow-ledger/1 verdict record
+# carrying all seven statuses (gate `check-all`), prints a pass/fail
+# summary table, and exits nonzero if any gate failed.
 #
 # Each individual gate script also appends its own verdict record via its
 # EXIT trap, so the ledger shows both the fine-grained history and the
@@ -18,7 +18,7 @@
 set -u
 cd "$(dirname "$0")/.."
 
-CLIPPY=fail PERF=fail MEM=fail SCALE=fail EXPLAIN=fail CHAOS=fail
+CLIPPY=fail PERF=fail MEM=fail SCALE=fail TOURNAMENT=fail EXPLAIN=fail CHAOS=fail
 
 echo "=== clippy ==="
 sh scripts/check-clippy.sh && CLIPPY=pass
@@ -36,6 +36,10 @@ echo "=== scale ==="
 sh scripts/check-scale.sh && SCALE=pass
 
 echo ""
+echo "=== tournament ==="
+sh scripts/check-tournament.sh && TOURNAMENT=pass
+
+echo ""
 echo "=== explain ==="
 sh scripts/check-explain.sh && EXPLAIN=pass
 
@@ -44,7 +48,7 @@ echo "=== chaos ==="
 sh scripts/check-chaos.sh && CHAOS=pass
 
 OVERALL=pass
-for s in "$CLIPPY" "$PERF" "$MEM" "$SCALE" "$EXPLAIN" "$CHAOS"; do
+for s in "$CLIPPY" "$PERF" "$MEM" "$SCALE" "$TOURNAMENT" "$EXPLAIN" "$CHAOS"; do
     [ "$s" = "pass" ] || OVERALL=fail
 done
 
@@ -53,6 +57,7 @@ cargo run --release -q -p coflow-bench --bin experiments -- \
     verdict --gate check-all --status "$OVERALL" \
     --verdict "clippy=$CLIPPY" --verdict "perf=$PERF" \
     --verdict "mem=$MEM" --verdict "scale=$SCALE" \
+    --verdict "tournament=$TOURNAMENT" \
     --verdict "explain=$EXPLAIN" --verdict "chaos=$CHAOS" || true
 
 echo ""
@@ -62,6 +67,7 @@ printf '%-8s  %s\n' clippy "$CLIPPY"
 printf '%-8s  %s\n' perf "$PERF"
 printf '%-8s  %s\n' mem "$MEM"
 printf '%-8s  %s\n' scale "$SCALE"
+printf '%-8s  %s\n' tournament "$TOURNAMENT"
 printf '%-8s  %s\n' explain "$EXPLAIN"
 printf '%-8s  %s\n' chaos "$CHAOS"
 echo "--------  ------"

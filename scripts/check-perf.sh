@@ -8,9 +8,18 @@
 #
 # The pin gate runs first: the scheduling engine promised bit-identical
 # output for every legacy loop it replaced, so the 12-cell grid, the
-# online scheduler (fixed and stale priorities), the greedy baseline, and
-# the fault-injected combinations are recomputed and compared against the
-# committed BENCH_pins.json on their f64 bit patterns. The same run times
+# online scheduler (fixed and stale priorities), the greedy baseline, the
+# successor policies (shafiee-ghaderi, im-purohit — clean and under the
+# rate-0.20 faults20 plan), and the fault-injected combinations are
+# recomputed and compared against the committed BENCH_pins.json on their
+# f64 bit patterns. A deliberate pin change means regenerating the pin
+# file AND the tournament golden together (the tournament subcommand
+# races the same policies on the same instance):
+#
+#   cargo run --release -p coflow-bench --bin experiments -- pin --out BENCH_pins.json
+#   cargo run --release -p coflow-bench --bin experiments -- tournament --out BENCH_tournament.json
+#
+# The same run times
 # the engine-driven section (the paths the old hand loops served) and
 # fails when it is slower than baseline by more than PIN_TOLERANCE
 # (default +100%, floored at 50 ms — it is a short section).
@@ -42,7 +51,9 @@ for gate in BENCH_pins.json BENCH_baseline.json; do
         echo "error: gate file '$gate' is missing or empty." >&2
         case "$gate" in
             BENCH_pins.json) echo "Regenerate it with:" >&2 \
-                && echo "    cargo run --release -p coflow-bench --bin experiments -- pin --out BENCH_pins.json" >&2 ;;
+                && echo "    cargo run --release -p coflow-bench --bin experiments -- pin --out BENCH_pins.json" >&2 \
+                && echo "and refresh the tournament golden from the same build:" >&2 \
+                && echo "    cargo run --release -p coflow-bench --bin experiments -- tournament --out BENCH_tournament.json" >&2 ;;
             BENCH_baseline.json) echo "Regenerate it with:" >&2 \
                 && echo "    scripts/bench-baseline.sh --update" >&2 ;;
         esac

@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# CI tournament gate, wired next to check-perf.sh / check-scale.sh: re-run
+# the N-algorithm tournament (every canonical registry policy raced on the
+# pinned 24x36 arrivals grid, under the shared rate-0.20 fault plan, and
+# through the 96x960 windowed scale cell) and fail when it drifts from the
+# committed BENCH_tournament.json golden:
+#
+#   * clean objectives, measured approximation ratios, fault-round
+#     objectives, and scale objectives compared BIT-EXACTLY, in both
+#     directions — a vanished or new policy row is drift, not a skip;
+#   * per-policy wall-clock past TOURNAMENT_TOLERANCE (default +35%) over
+#     the 10 ms absolute noise floor;
+#   * the fresh report must also satisfy its own validator: every ratio
+#     >= 1 and within the policy's proven bound (67/3 for the Algorithm 2
+#     pipelines, 5 for shafiee-ghaderi, 4 for im-purohit), full canonical
+#     registry coverage.
+#
+# The verdict lands on the run ledger next to the other gates.
+#
+# Usage:
+#   scripts/check-tournament.sh                          # gate at +35%
+#   TOURNAMENT_TOLERANCE=1.0 scripts/check-tournament.sh # shared boxes
+#   TOURNAMENT_POLICIES=a,b,c scripts/check-tournament.sh # subset race
+set -eu
+cd "$(dirname "$0")/.."
+
+BASELINE="${TOURNAMENT_BASELINE:-BENCH_tournament.json}"
+
+# On exit, append a coflow-ledger/1 verdict record (best-effort) so
+# `experiments -- report` shows the gate history.
+STATUS=fail
+append_verdict() {
+    cargo run --release -q -p coflow-bench --bin experiments -- \
+        verdict --gate check-tournament --status "$STATUS" >/dev/null 2>&1 || true
+}
+trap append_verdict EXIT
+
+# Fail fast, with the regeneration command, before any expensive run.
+if [ ! -s "$BASELINE" ]; then
+    echo "error: tournament golden '$BASELINE' is missing or empty." >&2
+    echo "Regenerate it with:" >&2
+    echo "    cargo run --release -p coflow-bench --bin experiments -- tournament --out $BASELINE" >&2
+    exit 1
+fi
+
+cargo run --release -q -p coflow-bench --bin experiments -- \
+    tournament --check "$BASELINE" \
+    --policies "${TOURNAMENT_POLICIES:-all}" \
+    --tolerance "${TOURNAMENT_TOLERANCE:-0.35}" "$@"
+
+STATUS=pass

@@ -2,16 +2,24 @@
 //!
 //! ```text
 //! coflow-cli <trace.{json,csv}> [--ports N] [--order H_A|H_rho|H_LP|H_size]
-//!            [--no-group] [--no-backfill] [--rematch] [--online]
-//!            [--online-stale] [--greedy] [--analyze] [--explain]
-//!            [--emit-json] [--profile] [--trace-out PATH] [--telemetry PATH]
+//!            [--no-group] [--no-backfill] [--rematch] [--policy NAME]
+//!            [--analyze] [--explain] [--emit-json] [--profile]
+//!            [--trace-out PATH] [--telemetry PATH]
 //! coflow-cli --generate <n> [--ports N] [--seed S]   # print a trace as CSV
 //! ```
 //!
-//! `--online` runs the ρ/w-priority online scheduler (priorities re-sorted
-//! on arrivals *and* completions); `--online-stale` keeps the legacy
-//! arrival-only re-sort for comparison. `--greedy` runs the work-conserving
-//! priority-greedy baseline with the `--order` permutation.
+//! `--policy NAME` selects a scheduler from the policy registry
+//! (`coflow::PolicyRegistry`): `bvn-batch` (the default Algorithm 2
+//! pipeline, honoring `--order`/`--no-group`/`--no-backfill`), `online`
+//! (ρ/w priorities re-sorted on arrivals *and* completions),
+//! `online-stale` (legacy arrival-only re-sort), `greedy` (work-conserving
+//! priority greedy over the `--order` permutation), `shafiee-ghaderi`
+//! (LP-free primal–dual, 5-approx), and `im-purohit` (LP-completion-time
+//! order, 4-approx). `resilient` is the fault-recovery pipeline and needs
+//! fault injection — the CLI schedules clean fabrics, so it points at
+//! `experiments -- faults` instead. The old `--online`, `--online-stale`,
+//! and `--greedy` flags remain as deprecated aliases for the matching
+//! `--policy` selections.
 //!
 //! `--profile` enables the `obs` registry and prints the span/counter
 //! summary tree to stderr after scheduling; `--trace-out PATH` additionally
@@ -43,7 +51,10 @@ use coflow::analysis::analyze;
 use coflow::ordering::OrderRule;
 use coflow::sched::online::run_online_opts;
 use coflow::sched::{run_with_order_ext, ScheduleOutcome};
-use coflow::{compute_order, run_greedy, verify_outcome, Instance, OnlineOptions};
+use coflow::{
+    compute_order, run_greedy, run_policy, verify_outcome, Instance, OnlineOptions,
+    PolicyRegistry, DEPRECATED_FLAG_ALIASES,
+};
 use coflow_workloads::{generate_trace, io, TraceConfig};
 use std::process::exit;
 
@@ -54,9 +65,7 @@ struct Args {
     grouping: bool,
     backfill: bool,
     rematch: bool,
-    online: bool,
-    online_stale: bool,
-    greedy: bool,
+    policy: Option<String>,
     do_analyze: bool,
     do_explain: bool,
     emit_json: bool,
@@ -87,10 +96,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: coflow-cli <trace.json|trace.csv> [--ports N] \
          [--order H_A|H_rho|H_LP|H_size] [--no-group] [--no-backfill] \
-         [--rematch] [--online] [--online-stale] [--greedy] [--analyze] \
+         [--rematch] [--policy NAME] [--analyze] \
          [--explain] [--emit-json] [--profile] [--trace-out PATH]\n\
          \x20      [--telemetry PATH] [--ledger PATH|none]\n\
-         \x20      coflow-cli --generate <n> [--ports N] [--seed S]"
+         \x20      coflow-cli --generate <n> [--ports N] [--seed S]\n\
+         \x20      (--online/--online-stale/--greedy are deprecated \
+         aliases for --policy)"
     );
     exit(2)
 }
@@ -103,9 +114,7 @@ fn parse_args() -> Args {
         grouping: true,
         backfill: true,
         rematch: false,
-        online: false,
-        online_stale: false,
-        greedy: false,
+        policy: None,
         do_analyze: false,
         do_explain: false,
         emit_json: false,
@@ -137,9 +146,22 @@ fn parse_args() -> Args {
             "--no-group" => args.grouping = false,
             "--no-backfill" => args.backfill = false,
             "--rematch" => args.rematch = true,
-            "--online" => args.online = true,
-            "--online-stale" => args.online_stale = true,
-            "--greedy" => args.greedy = true,
+            "--policy" => {
+                i += 1;
+                args.policy =
+                    Some(argv.get(i).unwrap_or_else(|| usage()).to_string());
+            }
+            flag if DEPRECATED_FLAG_ALIASES.iter().any(|(f, _)| *f == flag) => {
+                let (_, name) = DEPRECATED_FLAG_ALIASES
+                    .iter()
+                    .find(|(f, _)| *f == flag)
+                    .expect("guard matched");
+                eprintln!(
+                    "note: {} is deprecated; use --policy {} instead",
+                    flag, name
+                );
+                args.policy = Some(name.to_string());
+            }
             "--analyze" => args.do_analyze = true,
             "--explain" => args.do_explain = true,
             "--emit-json" => args.emit_json = true,
@@ -248,18 +270,57 @@ fn main() {
     if args.profile {
         obs::set_enabled(true);
     }
-    let outcome: ScheduleOutcome = if args.online || args.online_stale {
-        let opts = if args.online_stale {
-            OnlineOptions::legacy()
-        } else {
-            OnlineOptions::default()
-        };
-        run_online_opts(&instance, opts)
-    } else if args.greedy {
-        run_greedy(&instance, compute_order(&instance, args.order))
-    } else {
-        let order = compute_order(&instance, args.order);
-        run_with_order_ext(&instance, order, args.grouping, args.backfill, args.rematch)
+    let outcome: ScheduleOutcome = match args.policy.as_deref() {
+        // No selection: the default Algorithm 2 pipeline with the
+        // order/grouping/backfill knobs.
+        None => {
+            let order = compute_order(&instance, args.order);
+            run_with_order_ext(&instance, order, args.grouping, args.backfill, args.rematch)
+        }
+        Some(name) => {
+            let registry = PolicyRegistry::builtin();
+            let entry = registry.resolve(name).unwrap_or_else(|e| {
+                eprintln!("error: {}", e);
+                exit(2)
+            });
+            match entry.name {
+                "online" => run_online_opts(&instance, OnlineOptions::default()),
+                "online-stale" => run_online_opts(&instance, OnlineOptions::legacy()),
+                // Greedy keeps honoring --order, exactly like the old
+                // --greedy flag did (default H_LP here; the registry's
+                // engine cells pin the H_rho order).
+                "greedy" => run_greedy(&instance, compute_order(&instance, args.order)),
+                "bvn-batch" => {
+                    let order = compute_order(&instance, args.order);
+                    run_with_order_ext(
+                        &instance,
+                        order,
+                        args.grouping,
+                        args.backfill,
+                        args.rematch,
+                    )
+                }
+                "resilient" => {
+                    eprintln!(
+                        "error: policy 'resilient' is the fault-recovery pipeline and \
+                         needs fault injection; the CLI schedules clean fabrics. On a \
+                         clean fabric it equals bvn-batch — or run \
+                         `experiments -- faults` for the fault sweep."
+                    );
+                    exit(2)
+                }
+                // Decision-contract policies (shafiee-ghaderi, im-purohit,
+                // and future registry entries) run through the unified
+                // engine directly.
+                _ => {
+                    let mut policy = entry.build(&instance);
+                    run_policy(&instance, policy.as_mut()).unwrap_or_else(|e| {
+                        eprintln!("error: policy {}: {}", entry.name, e);
+                        exit(1)
+                    })
+                }
+            }
+        }
     };
     if args.profile {
         obs::set_enabled(false);
@@ -374,10 +435,11 @@ fn main() {
             label: path.to_string(),
             seed: args.seed,
             fingerprint: format!(
-                "ports={} coflows={} order={}",
+                "ports={} coflows={} order={} policy={}",
                 instance.ports(),
                 instance.len(),
-                args.order.name()
+                args.order.name(),
+                args.policy.as_deref().unwrap_or("bvn-batch")
             ),
             elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
             peak_rss_kb: obs::alloc::peak_rss_kb().unwrap_or(0),
